@@ -1,0 +1,57 @@
+"""Figure 10: fraction of low-level paths that contribute a new
+high-level path, over time, per configuration.
+
+Expected shape (the paper's headline efficiency result): the aggregate
+configuration sustains a much higher HL/LL ratio than the baseline
+throughout the run.
+"""
+
+from repro.bench.harness import PAPER_CONFIGS, BenchSettings, run_matrix
+from repro.bench.reporting import fig10_series, render_table
+from repro.targets import all_targets
+
+_CONFIG_ORDER = [
+    "CUPA + Optimizations", "Optimizations Only", "CUPA Only", "Baseline",
+]
+
+
+def _selected(settings: BenchSettings):
+    if settings.full:
+        return all_targets()
+    names = {"simplejson", "ConfigParser", "markdown", "cliargs"}
+    return [t for t in all_targets() if t.name in names]
+
+
+def test_fig10_efficiency(benchmark, settings: BenchSettings, report):
+    packages = _selected(settings)
+
+    def run():
+        return run_matrix(packages, PAPER_CONFIGS, settings)
+
+    runs = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    aggregates = {}
+    for language, label in (("minipy", "Python"), ("minilua", "Lua")):
+        series = fig10_series(runs, language, _CONFIG_ORDER, buckets=5)
+        rows = []
+        for config in _CONFIG_ORDER:
+            rows.append(
+                [config] + [f"{100.0 * v:6.1f}%" for v in series[config]]
+            )
+        report(
+            f"Figure 10 ({label}): HL/LL path ratio over normalised time",
+            render_table(
+                ["Configuration", "t1", "t2", "t3", "t4", "t5"], rows
+            ),
+        )
+        nonzero = [v for v in series["CUPA + Optimizations"] if v > 0]
+        base_nonzero = [v for v in series["Baseline"] if v > 0]
+        aggregates[language] = (
+            sum(nonzero) / len(nonzero) if nonzero else 0.0,
+            sum(base_nonzero) / len(base_nonzero) if base_nonzero else 0.0,
+        )
+
+    # The aggregate configuration must be more efficient than the baseline
+    # for at least one language, and never collapse to zero.
+    assert any(agg > base for agg, base in aggregates.values()), aggregates
+    assert all(agg > 0 for agg, _base in aggregates.values()), aggregates

@@ -1,0 +1,66 @@
+"""Figure 11: contribution of each interpreter optimization (Python).
+
+Four interpreter builds, adding the §4.2 optimizations one by one in the
+paper's order (none → +symbolic-pointer avoidance → +hash neutralization
+→ +fast-path elimination); high-level paths found with path-optimized
+CUPA, printed relative to the fully optimized build.
+
+Expected shape: for most packages more optimizations help, but not
+monotonically for every package — the paper highlights xlrd, where some
+optimizations hurt; we assert only that optimized builds collectively
+beat the unoptimized one.
+"""
+
+from repro.bench.harness import BenchSettings, run_package
+from repro.bench.reporting import fig11_rows, render_table
+from repro.chef.options import InterpreterBuildOptions
+from repro.targets import python_targets
+
+
+def _selected(settings: BenchSettings):
+    targets = python_targets()
+    if settings.full:
+        return targets
+    names = {"argparse", "simplejson", "ConfigParser", "xlrd"}
+    return [t for t in targets if t.name in names]
+
+
+def test_fig11_optimization_breakdown(benchmark, settings: BenchSettings, report):
+    packages = _selected(settings)
+    labels = InterpreterBuildOptions.cumulative_labels()
+
+    def run():
+        results = {}
+        for package in packages:
+            by_level = {}
+            for level in range(4):
+                result = run_package(
+                    package,
+                    "cupa-path",
+                    InterpreterBuildOptions.cumulative(level),
+                    settings.budget,
+                    seed=0,
+                    config_name=labels[level],
+                    path_instr_budget=settings.path_instr_budget,
+                    measure_coverage=False,
+                )
+                by_level[level] = float(result.hl_paths)
+            results[package.name] = by_level
+        return results
+
+    per_build = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = fig11_rows(per_build, labels)
+    report(
+        "Figure 11: interpreter optimization breakdown (Python, HL paths "
+        "relative to the fully optimized build)",
+        render_table(
+            ["Package"] + [labels[i] for i in range(4)], rows
+        ),
+    )
+
+    total_none = sum(levels[0] for levels in per_build.values())
+    total_best = sum(max(levels.values()) for levels in per_build.values())
+    assert total_best > total_none, (
+        f"optimized builds ({total_best}) must beat vanilla ({total_none})"
+    )

@@ -1,0 +1,82 @@
+"""Figure 12: Chef's per-high-level-path overhead vs. the dedicated
+NICE-style engine, on the MAC-learning controller, per interpreter build.
+
+For each number of symbolic Ethernet frames we compare average execution
+time per high-level path: T_chef / T_nice.  Expected shape from the
+paper: the unoptimized builds are orders of magnitude slower (symbolic
+pointers, then symbolic hashes dominate), each added optimization
+reduces the overhead substantially, and even the full build stays slower
+than the hand-written engine (Chef pays for running a whole interpreter).
+"""
+
+import os
+
+from repro.bench.harness import BenchSettings
+from repro.bench.reporting import fig12_rows, render_table
+from repro.chef.options import ChefConfig, InterpreterBuildOptions
+from repro.dedicated import DedicatedNiceEngine
+from repro.interpreters.minipy.engine import MiniPyEngine
+from repro.targets.mac_controller import driver_source
+
+_MAX_FRAMES = int(os.environ.get("REPRO_BENCH_FIG12_FRAMES", "3"))
+
+
+def _chef_time_per_path(source: str, level: int, budget: float) -> float:
+    engine = MiniPyEngine(
+        source,
+        ChefConfig(
+            strategy="cupa-path",
+            seed=0,
+            time_budget=budget,
+            interpreter_options=InterpreterBuildOptions.cumulative(level),
+            path_instr_budget=120_000,
+        ),
+    )
+    result = engine.run()
+    return result.duration / max(result.hl_paths, 1)
+
+
+def _nice_time_per_path(source: str, budget: float) -> float:
+    engine = DedicatedNiceEngine(source)
+    result = engine.run(time_budget=budget)
+    return result.duration / max(result.paths, 1)
+
+
+def test_fig12_overhead(benchmark, settings: BenchSettings, report):
+    labels = InterpreterBuildOptions.cumulative_labels()
+    budget = max(settings.budget, 1.5)
+
+    def run():
+        overheads = {}
+        for frames in range(1, _MAX_FRAMES + 1):
+            source = driver_source(frames)
+            nice_time = _nice_time_per_path(source, budget)
+            overheads[frames] = {}
+            for level in range(4):
+                chef_time = _chef_time_per_path(source, level, budget)
+                overheads[frames][level] = chef_time / max(nice_time, 1e-9)
+        return overheads
+
+    overheads = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = fig12_rows(overheads, labels)
+    report(
+        "Figure 12: CHEF overhead vs. dedicated NICE-style engine "
+        "(T_chef/T_nice per HL path, MAC-learning controller)",
+        render_table(
+            ["Frames"] + [labels[i] for i in range(4)], rows
+        ),
+    )
+
+    # Shape assertions: Chef is slower than the hand-written engine, and
+    # the fully optimized build beats the unoptimized one.
+    for frames, by_level in overheads.items():
+        assert by_level[3] >= 1.0, (
+            f"Chef should not beat the dedicated engine ({frames} frames)"
+        )
+    total_vanilla = sum(by_level[0] for by_level in overheads.values())
+    total_full = sum(by_level[3] for by_level in overheads.values())
+    assert total_full < total_vanilla, (
+        "optimizations must reduce Chef's overhead "
+        f"(full {total_full:.1f}x vs vanilla {total_vanilla:.1f}x)"
+    )

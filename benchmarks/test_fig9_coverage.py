@@ -1,0 +1,52 @@
+"""Figure 9: line coverage achieved by each configuration, using
+coverage-optimized CUPA (§3.4) for the CUPA configurations.
+
+Expected shape: the aggregate configuration's coverage is at least
+competitive everywhere and visibly better for the parser-heavy packages
+(the paper calls out simplejson and xlrd).
+"""
+
+from repro.bench.harness import PAPER_CONFIGS, BenchSettings, aggregate, run_matrix
+from repro.bench.reporting import fig9_rows, render_table
+from repro.targets import all_targets
+
+_CONFIG_ORDER = [
+    "CUPA + Optimizations", "Optimizations Only", "CUPA Only", "Baseline",
+]
+
+
+def _selected(settings: BenchSettings):
+    if settings.full:
+        return all_targets()
+    names = {"simplejson", "xlrd", "HTMLParser", "haml", "cliargs"}
+    return [t for t in all_targets() if t.name in names]
+
+
+def test_fig9_coverage(benchmark, settings: BenchSettings, report):
+    packages = _selected(settings)
+
+    def run():
+        return run_matrix(
+            packages, PAPER_CONFIGS, settings, strategy_override="cupa-cov"
+        )
+
+    runs = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for language, label in (("minipy", "Python"), ("minilua", "Lua")):
+        names = [p.name for p in packages if p.language == language]
+        if not names:
+            continue
+        rows = fig9_rows(runs, names, _CONFIG_ORDER)
+        report(
+            f"Figure 9 ({label}): line coverage per configuration "
+            f"(coverage-optimized CUPA)",
+            render_table(["Package"] + _CONFIG_ORDER, rows),
+        )
+
+    names = [p.name for p in packages]
+    agg = sum(aggregate(runs, n, "CUPA + Optimizations")["coverage"] for n in names)
+    base = sum(aggregate(runs, n, "Baseline")["coverage"] for n in names)
+    assert agg >= base * 0.9, (
+        f"aggregate coverage ({agg:.2f}) collapsed vs baseline ({base:.2f})"
+    )
+    assert agg > 0, "aggregate must cover something"

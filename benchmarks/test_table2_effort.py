@@ -1,0 +1,60 @@
+"""Table 2: effort to support Python and Lua in Chef.
+
+Counts, from the Clay interpreter sources, the lines belonging to the
+interpreter core vs. the Chef-specific additions (HLPC instrumentation,
+symbolic-execution optimizations, native extensions) plus the symbolic
+test library — the same breakdown as the paper's Table 2.  The expected
+*shape*: instrumentation is a tiny fraction of the core, and the Lua
+interpreter is several times smaller than the Python one.
+"""
+
+from repro.bench.effort import effort_table
+from repro.bench.reporting import render_table
+
+
+def test_table2_effort(benchmark, report):
+    rows = benchmark.pedantic(effort_table, rounds=1, iterations=1)
+    by_language = {row.language: row for row in rows}
+    python = by_language["Python"]
+    lua = by_language["Lua"]
+
+    # Shape assertions mirroring Table 2.
+    assert python.core_loc > lua.core_loc, "Python interpreter must be larger"
+    assert python.hlpc_loc < 60, "HLPC instrumentation must stay tiny"
+    assert lua.hlpc_loc < 60
+    assert python.hlpc_loc / python.core_loc < 0.05
+    assert python.optimization_loc > python.hlpc_loc
+    assert python.test_library_loc > 0
+
+    table_rows = []
+    table_rows.append(
+        ["Interpreter core size (Clay LoC)", python.core_loc, lua.core_loc]
+    )
+    table_rows.append(
+        [
+            "HLPC instrumentation (Clay LoC)",
+            f"{python.hlpc_loc} ({python.instrumented_fraction(python.hlpc_loc):.2f}%)",
+            f"{lua.hlpc_loc} ({lua.instrumented_fraction(lua.hlpc_loc):.2f}%)",
+        ]
+    )
+    table_rows.append(
+        [
+            "Sym. optimizations (Clay LoC)",
+            f"{python.optimization_loc} ({python.instrumented_fraction(python.optimization_loc):.2f}%)",
+            f"{lua.optimization_loc} ({lua.instrumented_fraction(lua.optimization_loc):.2f}%)",
+        ]
+    )
+    table_rows.append(
+        [
+            "Native extensions (Clay LoC)",
+            f"{python.native_loc} ({python.instrumented_fraction(python.native_loc):.2f}%)",
+            f"{lua.native_loc} ({lua.instrumented_fraction(lua.native_loc):.2f}%)",
+        ]
+    )
+    table_rows.append(
+        ["Test library (host LoC)", python.test_library_loc, lua.test_library_loc]
+    )
+    report(
+        "Table 2: effort to support Python and Lua in CHEF (reproduction scale)",
+        render_table(["Component", "Python", "Lua"], table_rows),
+    )

@@ -1,0 +1,53 @@
+"""Bug hunt: find the Lua JSON parser's infinite loop (§6.2).
+
+The sb-JSON-style parser accepts /* */ and // comments "for convenience";
+an unterminated comment makes its tokenizer spin forever.  JSON payloads
+are usually machine-generated, so conventional testing never tries such
+inputs — but an attacker can mount a denial of service with one.  The
+Chef-generated Lua engine finds it automatically: states that exhaust the
+per-path budget are flagged as potential hangs.
+
+Run:  python examples/json_hang_hunt.py
+"""
+
+from repro import ChefConfig
+from repro.symtest import SymbolicTestRunner
+from repro.targets import target_by_name
+
+
+def main() -> None:
+    package = target_by_name("JSON")
+    runner = SymbolicTestRunner(
+        package.source,
+        package.symbolic_test(),
+        ChefConfig(
+            strategy="cupa-path",
+            seed=1,
+            time_budget=10.0,
+            # The hang detector: the paper bounds each test at 60 seconds;
+            # we bound executed instructions.  Generous enough that no
+            # legitimate parse of a 6-byte input comes close.
+            path_instr_budget=250_000,
+        ),
+    )
+    result = runner.run_symbolic()
+    hangs = result.suite.hangs()
+
+    print(f"explored {result.ll_paths} paths; {len(hangs)} hang(s) found")
+    shown = set()
+    for case in hangs[:10]:
+        payload = case.input_string("b0")
+        if payload in shown:
+            continue
+        shown.add(payload)
+        print(f"  hanging JSON input: {payload!r}")
+
+    assert hangs, "expected to find the unterminated-comment hang"
+    commentless = [c for c in hangs if "/" not in c.input_string("b0")]
+    print()
+    print("every hanging input contains a comment opener:",
+          "yes" if not commentless else "NO (unexpected!)")
+
+
+if __name__ == "__main__":
+    main()

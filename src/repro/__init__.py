@@ -1,0 +1,57 @@
+"""repro — a reproduction of Chef (ASPLOS 2014).
+
+Chef turns a vanilla interpreter into a symbolic execution engine for the
+interpreter's language by executing the interpreter itself on a low-level
+symbolic execution platform, tracing high-level program locations, and
+steering exploration with class-uniform path analysis (CUPA).
+
+Quickstart::
+
+    from repro import MiniPyEngine, ChefConfig
+
+    engine = MiniPyEngine('''
+    def check(s):
+        if s.find("@") < 3:
+            raise ValueError("bad")
+        return 1
+
+    data = sym_string("\\x00\\x00\\x00\\x00\\x00")
+    print(check(data))
+    ''', ChefConfig(strategy="cupa-path", time_budget=5.0))
+    result = engine.run()
+    for case in result.hl_test_cases:
+        print(case.input_string("b0"), case.exception_type)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.chef import (
+    Chef,
+    ChefConfig,
+    InterpreterBuildOptions,
+    RunResult,
+    TestCase,
+    TestSuite,
+)
+from repro.errors import ReproError
+from repro.interpreters.minilua import MiniLuaEngine
+from repro.interpreters.minipy import MiniPyEngine
+from repro.symtest import SymbolicTest, SymbolicTestRunner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Chef",
+    "ChefConfig",
+    "InterpreterBuildOptions",
+    "MiniLuaEngine",
+    "MiniPyEngine",
+    "ReproError",
+    "RunResult",
+    "SymbolicTest",
+    "SymbolicTestRunner",
+    "TestCase",
+    "TestSuite",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Benchmark harness regenerating every table and figure of the paper."""
+
+from repro.bench.harness import (
+    PAPER_CONFIGS,
+    BenchSettings,
+    PackageRun,
+    run_package,
+    run_matrix,
+)
+from repro.bench.effort import effort_table
+from repro.bench import reporting
+
+__all__ = [
+    "BenchSettings",
+    "PAPER_CONFIGS",
+    "PackageRun",
+    "effort_table",
+    "reporting",
+    "run_matrix",
+    "run_package",
+]

@@ -1,0 +1,90 @@
+"""Table 2: porting-effort accounting from the Clay sources.
+
+The Clay interpreter sources carry ``//! chef:hlpc``, ``//! chef:opt`` and
+``//! chef:native`` markers on the lines added for Chef; this module
+counts them, mirroring how the paper separates HLPC instrumentation,
+symbolic-execution optimizations and native extensions from the
+interpreter core.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.interpreters.minipy.engine import MINIPY_CLAY_FILES, _CLAY_DIR
+from repro.interpreters.minilua.engine import MINILUA_CLAY_FILES
+
+
+@dataclass
+class EffortRow:
+    """One interpreter's Table 2 column."""
+
+    language: str
+    core_loc: int
+    hlpc_loc: int
+    optimization_loc: int
+    native_loc: int
+    test_library_loc: int
+
+    def instrumented_fraction(self, loc: int) -> float:
+        return 100.0 * loc / self.core_loc if self.core_loc else 0.0
+
+
+def _count_file(path: pathlib.Path) -> Dict[str, int]:
+    counts = {"core": 0, "hlpc": 0, "opt": 0, "native": 0}
+    for line in path.read_text().split("\n"):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("//") and "//!" not in stripped:
+            continue
+        if "//! chef:hlpc" in line:
+            counts["hlpc"] += 1
+        elif "//! chef:opt" in line:
+            counts["opt"] += 1
+        elif "//! chef:native" in line:
+            counts["native"] += 1
+        elif stripped:
+            counts["core"] += 1
+    return counts
+
+
+def _count_files(files) -> Dict[str, int]:
+    totals = {"core": 0, "hlpc": 0, "opt": 0, "native": 0}
+    for name in files:
+        counts = _count_file(_CLAY_DIR / name)
+        for key, value in counts.items():
+            totals[key] += value
+    return totals
+
+
+def _symtest_loc() -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent / "symtest"
+    total = 0
+    for path in root.glob("*.py"):
+        for line in path.read_text().split("\n"):
+            stripped = line.strip()
+            if stripped and not stripped.startswith("#"):
+                total += 1
+    return total
+
+
+def effort_table() -> List[EffortRow]:
+    """Table 2 rows for the two interpreters."""
+    rows = []
+    for language, files in (
+        ("Python", MINIPY_CLAY_FILES),
+        ("Lua", MINILUA_CLAY_FILES),
+    ):
+        counts = _count_files(files)
+        rows.append(
+            EffortRow(
+                language=language,
+                core_loc=counts["core"],
+                hlpc_loc=counts["hlpc"],
+                optimization_loc=counts["opt"],
+                native_loc=counts["native"],
+                test_library_loc=_symtest_loc(),
+            )
+        )
+    return rows

@@ -1,0 +1,189 @@
+"""The Chef engine loop: drive the LVM, trace HLPCs, select with CUPA.
+
+This is the architecture of Fig. 4: the low-level engine executes the
+interpreter; ``log_pc`` hypercalls stream high-level locations into the
+high-level execution tree and CFG; a state-selection strategy (random or
+CUPA) picks the next pending alternate state; each completed low-level
+path yields a concrete test case, and the first path to exercise a new
+high-level path yields a *high-level* test case.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.chef.hltree import HighLevelCfg, HighLevelTree
+from repro.chef.options import ChefConfig
+from repro.chef.strategies import make_strategy
+from repro.chef.testcase import TestCase, TestSuite
+from repro.lowlevel import api
+from repro.lowlevel.executor import ExecutorConfig, LowLevelEngine, State
+from repro.lowlevel.machine import Status
+from repro.lowlevel.program import Program
+from repro.solver.csp import CspSolver
+
+
+@dataclass
+class RunResult:
+    """Everything a benchmark needs from one Chef run."""
+
+    suite: TestSuite
+    hl_paths: int
+    ll_paths: int
+    duration: float
+    #: (seconds, hl_paths_so_far, ll_paths_so_far) samples (Fig. 10).
+    timeline: List[Tuple[float, int, int]] = field(default_factory=list)
+    engine_stats: Dict[str, int] = field(default_factory=dict)
+    solver_stats: Dict[str, int] = field(default_factory=dict)
+    cfg_nodes: int = 0
+    cfg_edges: int = 0
+    tree_nodes: int = 0
+    pending_left: int = 0
+    states_created: int = 0
+    tags: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def hl_test_cases(self) -> List[TestCase]:
+        return self.suite.high_level_tests()
+
+    def hl_to_ll_ratio(self) -> float:
+        return self.hl_paths / self.ll_paths if self.ll_paths else 0.0
+
+
+class Chef:
+    """Language-agnostic Chef engine over a prepared interpreter program.
+
+    ``program`` must be a finalized LIR program whose static data already
+    contains the interpreter's high-level program image and build-option
+    flag words (the interpreter engines in
+    :mod:`repro.interpreters` take care of that).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        config: Optional[ChefConfig] = None,
+        solver: Optional[CspSolver] = None,
+    ):
+        self.config = config if config is not None else ChefConfig()
+        self.solver = solver if solver is not None else CspSolver(
+            budget=self.config.solver_budget
+        )
+        self.tree = HighLevelTree()
+        self.cfg = HighLevelCfg()
+        self.ll = LowLevelEngine(
+            program,
+            solver=self.solver,
+            config=ExecutorConfig(max_instrs_per_path=self.config.path_instr_budget),
+        )
+        self.ll.on_log_pc = self._on_log_pc
+        self.ll.on_fork = self._on_fork
+        self.ll.on_path_end = self._on_path_end
+        self._rng = random.Random(self.config.seed)
+        self.strategy = make_strategy(
+            self.config.strategy, self._rng, self.cfg, self.config.fork_weight_p
+        )
+        self.suite = TestSuite()
+        self._timeline: List[Tuple[float, int, int]] = []
+        self._start_time = 0.0
+        self._ll_paths = 0
+
+    # -- listener hooks -------------------------------------------------------
+
+    def _on_log_pc(self, state: State, pc: int, opcode: int) -> None:
+        meta = state.meta
+        prev = meta.get("static_hlpc")
+        prev_op = meta.get("hl_opcode")
+        self.cfg.observe(prev, prev_op, pc, opcode)
+        meta["static_hlpc"] = pc
+        meta["hl_opcode"] = opcode
+        meta["dyn_node"] = self.tree.advance(meta.get("dyn_node", HighLevelTree.ROOT), pc)
+        meta["hl_sig"] = HighLevelTree.extend_signature(meta.get("hl_sig", 0), pc)
+
+    def _on_fork(self, parent: State, child: State) -> None:
+        child.meta = dict(parent.meta)
+
+    def _on_path_end(self, state: State) -> None:
+        status = state.machine.status
+        if status in (
+            Status.ASSUME_FAILED,
+            Status.INFEASIBLE,
+            Status.SOLVER_TIMEOUT,
+            Status.DEADLINE,
+        ):
+            return
+        self._ll_paths += 1
+        signature = state.meta.get("hl_sig", 0)
+        new_hl = self.tree.record_path(signature)
+        exception_type = None
+        for event in state.events:
+            if event.kind == api.EVENT_UNCAUGHT_EXCEPTION:
+                exception_type = event.a
+        case = TestCase(
+            test_id=len(self.suite.cases),
+            inputs=state.input_values(),
+            status=status,
+            hl_path_signature=signature,
+            new_hl_path=new_hl,
+            exception_type=exception_type,
+            hang=status == Status.BUDGET_EXCEEDED,
+            interpreter_crash=status == Status.FAULT,
+            output=list(state.machine.output),
+            hl_instr_count=state.hl_instr_count,
+            ll_instr_count=state.instr_count,
+            wall_time=time.monotonic() - self._start_time,
+        )
+        self.suite.add(case)
+        if self._ll_paths % max(self.config.sample_every, 1) == 0:
+            self._timeline.append(
+                (case.wall_time, self.tree.distinct_paths(), self._ll_paths)
+            )
+
+    # -- main loop ---------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Explore until the time/path budget is exhausted."""
+        config = self.config
+        self._start_time = time.monotonic()
+        self.ll.config.deadline = self._start_time + config.time_budget
+        state = self.ll.new_state()
+        for child in self.ll.run_path(state):
+            self.strategy.add(child)
+        while not self._budget_exhausted():
+            candidate = self.strategy.select()
+            if candidate is None:
+                break
+            if self.ll.activate(candidate) != "sat":
+                continue
+            for child in self.ll.run_path(candidate):
+                self.strategy.add(child)
+        duration = time.monotonic() - self._start_time
+        self._timeline.append((duration, self.tree.distinct_paths(), self._ll_paths))
+        return RunResult(
+            suite=self.suite,
+            hl_paths=self.tree.distinct_paths(),
+            ll_paths=self._ll_paths,
+            duration=duration,
+            timeline=list(self._timeline),
+            engine_stats=self.ll.stats.as_dict(),
+            solver_stats=self.solver.stats.as_dict(),
+            cfg_nodes=self.cfg.node_count(),
+            cfg_edges=self.cfg.edge_count(),
+            tree_nodes=self.tree.node_count(),
+            pending_left=len(self.strategy),
+            states_created=self.ll._next_sid,
+            tags=dict(config.tags or {}),
+        )
+
+    def _budget_exhausted(self) -> bool:
+        config = self.config
+        if time.monotonic() - self._start_time >= config.time_budget:
+            return True
+        if config.max_ll_paths and self._ll_paths >= config.max_ll_paths:
+            return True
+        if config.max_hl_paths and self.tree.distinct_paths() >= config.max_hl_paths:
+            return True
+        return False

@@ -1,0 +1,167 @@
+"""High-level execution tree and dynamically discovered high-level CFG.
+
+The interpreter reports (HLPC, opcode) pairs through ``log_pc``.  From the
+stream of reports along every low-level path, Chef maintains:
+
+- a **high-level execution tree** (Fig. 3): the unfolding of high-level
+  paths.  Each node is a *dynamic HLPC* — an occurrence of an HLPC in a
+  particular path prefix.  Path-optimized CUPA classifies states by the
+  dynamic HLPC at their fork point.
+
+- a **high-level CFG**: static HLPC nodes with successor edges, discovered
+  on the fly.  Coverage-optimized CUPA derives *potential branching
+  points* from it (§3.4): nodes whose opcode is known to branch elsewhere
+  but that currently have only one successor, and steers exploration
+  toward states close to them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Dict, List, Optional, Set, Tuple
+
+_HASH_MASK = (1 << 61) - 1
+
+
+class HighLevelTree:
+    """Unfolded high-level execution tree over dynamic HLPCs."""
+
+    ROOT = 0
+
+    def __init__(self):
+        # node id -> {hlpc -> child node id}
+        self._children: Dict[int, Dict[int, int]] = {self.ROOT: {}}
+        self._hlpc_of: Dict[int, int] = {self.ROOT: -1}
+        self._next_node = 1
+        #: signatures of completed high-level paths.
+        self._path_signatures: Set[int] = set()
+
+    def advance(self, node: int, hlpc: int) -> int:
+        """Move from dynamic node ``node`` along ``hlpc``; returns child id."""
+        children = self._children[node]
+        child = children.get(hlpc)
+        if child is None:
+            child = self._next_node
+            self._next_node += 1
+            children[hlpc] = child
+            self._children[child] = {}
+            self._hlpc_of[child] = hlpc
+        return child
+
+    def hlpc_of(self, node: int) -> int:
+        return self._hlpc_of[node]
+
+    def node_count(self) -> int:
+        return self._next_node
+
+    @staticmethod
+    def extend_signature(signature: int, hlpc: int) -> int:
+        """Incremental hash of a high-level path (order-sensitive)."""
+        return ((signature * 1000003) ^ (hlpc + 0x9E3779B9)) & _HASH_MASK
+
+    def record_path(self, signature: int) -> bool:
+        """Record a completed high-level path; True if it was new."""
+        if signature in self._path_signatures:
+            return False
+        self._path_signatures.add(signature)
+        return True
+
+    def distinct_paths(self) -> int:
+        return len(self._path_signatures)
+
+
+class HighLevelCfg:
+    """Static high-level CFG, discovered edge by edge."""
+
+    def __init__(self, rare_opcode_fraction: float = 0.10):
+        self.successors: Dict[int, Set[int]] = {}
+        self.opcode_of: Dict[int, int] = {}
+        self._opcode_counts: Counter = Counter()
+        self._rare_fraction = rare_opcode_fraction
+        #: bumped on structural change; distance caches key on it.
+        self.version = 0
+        self._distance_cache: Dict[int, int] = {}
+        self._cache_version = -1
+
+    def observe(self, src: Optional[int], src_opcode: Optional[int], dst: int, dst_opcode: int) -> None:
+        """Record the transition src → dst reported by log_pc."""
+        changed = False
+        if dst not in self.successors:
+            self.successors[dst] = set()
+            changed = True
+        if dst not in self.opcode_of:
+            self.opcode_of[dst] = dst_opcode
+            self._opcode_counts[dst_opcode] += 1
+        if src is not None and src_opcode is not None and src not in self.opcode_of:
+            self.opcode_of[src] = src_opcode
+            self._opcode_counts[src_opcode] += 1
+        if src is not None:
+            succ = self.successors.setdefault(src, set())
+            if dst not in succ:
+                succ.add(dst)
+                changed = True
+        if changed:
+            self.version += 1
+
+    # -- §3.4 heuristics ---------------------------------------------------------
+
+    def branching_opcodes(self) -> Set[int]:
+        """Opcodes observed to branch (out-degree ≥ 2), minus the rarest 10%.
+
+        The paper drops the 10% least frequent branching opcodes because
+        they correspond to exceptions and other rare control transfers.
+        """
+        counts: Counter = Counter()
+        for hlpc, succ in self.successors.items():
+            if len(succ) >= 2:
+                counts[self.opcode_of.get(hlpc, -1)] += 1
+        if not counts:
+            return set()
+        ordered = sorted(counts.items(), key=lambda kv: (kv[1], kv[0]))
+        drop = int(len(ordered) * self._rare_fraction)
+        return {opcode for opcode, _count in ordered[drop:]}
+
+    def potential_branching_points(self) -> Set[int]:
+        """HLPCs with a branching opcode but (currently) a single successor."""
+        branching = self.branching_opcodes()
+        result = set()
+        for hlpc, succ in self.successors.items():
+            if len(succ) == 1 and self.opcode_of.get(hlpc) in branching:
+                result.add(hlpc)
+        return result
+
+    def distance_to_uncovered(self, hlpc: int) -> int:
+        """Forward CFG distance to the closest potential branching point.
+
+        Returns a large finite value when unreachable; cached per CFG
+        version (a BFS from all targets, reversed).
+        """
+        if self._cache_version != self.version:
+            self._rebuild_distances()
+        return self._distance_cache.get(hlpc, 1_000_000)
+
+    def _rebuild_distances(self) -> None:
+        targets = self.potential_branching_points()
+        predecessors: Dict[int, List[int]] = {}
+        for src, succ in self.successors.items():
+            for dst in succ:
+                predecessors.setdefault(dst, []).append(src)
+        distances: Dict[int, int] = {t: 0 for t in targets}
+        queue = deque(targets)
+        while queue:
+            node = queue.popleft()
+            for pred in predecessors.get(node, ()):
+                if pred not in distances:
+                    distances[pred] = distances[node] + 1
+                    queue.append(pred)
+        self._distance_cache = distances
+        self._cache_version = self.version
+
+    def node_count(self) -> int:
+        return len(self.successors)
+
+    def edge_count(self) -> int:
+        return sum(len(s) for s in self.successors.values())
+
+    def covered_hlpcs(self) -> Set[int]:
+        return set(self.successors)

@@ -1,0 +1,90 @@
+"""Generated test cases and suites."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class TestCase:
+    """One concrete input produced by symbolic execution.
+
+    ``inputs`` maps symbolic-buffer names (in creation order: b0, b1, ...)
+    to concrete word lists; string-typed inputs decode them as bytes.
+    """
+
+    __test__ = False  # not a pytest class, despite the name
+
+    test_id: int
+    inputs: Dict[str, List[int]]
+    status: str
+    #: signature of the high-level path this test exercises.
+    hl_path_signature: int = 0
+    #: True if this test was the first to exercise its high-level path.
+    new_hl_path: bool = False
+    #: uncaught high-level exception type id (None = none reported).
+    exception_type: Optional[int] = None
+    #: the per-path instruction budget was exhausted (potential hang).
+    hang: bool = False
+    #: the interpreter itself crashed (guest fault / abort).
+    interpreter_crash: bool = False
+    #: observable guest output words.
+    output: List[int] = field(default_factory=list)
+    #: executed high-level instructions along the path.
+    hl_instr_count: int = 0
+    #: executed low-level instructions along the path.
+    ll_instr_count: int = 0
+    #: wall-clock seconds since the run started when this test completed.
+    wall_time: float = 0.0
+
+    def input_string(self, name: str) -> str:
+        """Decode a buffer as a byte string (lossy for non-ASCII)."""
+        return "".join(chr(v & 0xFF) for v in self.inputs.get(name, []))
+
+    def __repr__(self) -> str:
+        marks = []
+        if self.new_hl_path:
+            marks.append("new-hl")
+        if self.exception_type is not None:
+            marks.append(f"exc={self.exception_type}")
+        if self.hang:
+            marks.append("hang")
+        if self.interpreter_crash:
+            marks.append("crash")
+        return f"TestCase(#{self.test_id} {self.status} {' '.join(marks)})"
+
+
+@dataclass
+class TestSuite:
+    """All test cases from one Chef run, plus summary helpers."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    cases: List[TestCase] = field(default_factory=list)
+
+    def add(self, case: TestCase) -> None:
+        self.cases.append(case)
+
+    def __len__(self) -> int:
+        return len(self.cases)
+
+    def __iter__(self):
+        return iter(self.cases)
+
+    def high_level_tests(self) -> List[TestCase]:
+        """Tests that each exercise a distinct high-level path."""
+        return [c for c in self.cases if c.new_hl_path]
+
+    def exceptions(self) -> Dict[int, List[TestCase]]:
+        found: Dict[int, List[TestCase]] = {}
+        for case in self.cases:
+            if case.exception_type is not None:
+                found.setdefault(case.exception_type, []).append(case)
+        return found
+
+    def hangs(self) -> List[TestCase]:
+        return [c for c in self.cases if c.hang]
+
+    def crashes(self) -> List[TestCase]:
+        return [c for c in self.cases if c.interpreter_crash]

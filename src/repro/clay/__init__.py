@@ -1,0 +1,16 @@
+"""Clay: a small C-like systems language compiled to LIR.
+
+The paper's interpreters are C programs compiled to x86 and executed by
+S2E.  Here, interpreters are Clay programs compiled to LIR and executed by
+the LVM engine.  Clay is deliberately minimal — word-sized values, explicit
+memory via ``load``/``store`` and indexing sugar, functions, ``if``/
+``while`` — because everything an interpreter needs (tagged values, heaps,
+hash tables, string buffers) is built *in* Clay, so its internal branches
+are visible to the low-level engine exactly as compiled C is to S2E.
+"""
+
+from repro.clay.lexer import Token, tokenize
+from repro.clay.parser import parse
+from repro.clay.codegen import compile_program, CompiledClay
+
+__all__ = ["CompiledClay", "Token", "compile_program", "parse", "tokenize"]

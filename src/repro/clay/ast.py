@@ -1,0 +1,133 @@
+"""Abstract syntax tree for Clay."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# -- expressions -------------------------------------------------------------
+
+@dataclass
+class IntLit(Node):
+    value: int = 0
+
+
+@dataclass
+class Name(Node):
+    ident: str = ""
+
+
+@dataclass
+class Unary(Node):
+    op: str = ""
+    operand: Optional[Node] = None
+
+
+@dataclass
+class Binary(Node):
+    op: str = ""
+    left: Optional[Node] = None
+    right: Optional[Node] = None
+
+
+@dataclass
+class Logical(Node):
+    """Short-circuit && / || (compiled to branches, like C)."""
+
+    op: str = ""
+    left: Optional[Node] = None
+    right: Optional[Node] = None
+
+
+@dataclass
+class Call(Node):
+    callee: str = ""
+    args: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class Index(Node):
+    """``base[offset]`` — sugar for load(base + offset)."""
+
+    base: Optional[Node] = None
+    offset: Optional[Node] = None
+
+
+# -- statements ---------------------------------------------------------------
+
+@dataclass
+class VarDecl(Node):
+    name: str = ""
+    value: Optional[Node] = None
+
+
+@dataclass
+class Assign(Node):
+    target: Optional[Node] = None  # Name or Index
+    value: Optional[Node] = None
+
+
+@dataclass
+class If(Node):
+    cond: Optional[Node] = None
+    then_body: List[Node] = field(default_factory=list)
+    else_body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class While(Node):
+    cond: Optional[Node] = None
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+@dataclass
+class Return(Node):
+    value: Optional[Node] = None
+
+
+@dataclass
+class ExprStmt(Node):
+    expr: Optional[Node] = None
+
+
+# -- top-level items ------------------------------------------------------------
+
+@dataclass
+class ConstDecl(Node):
+    name: str = ""
+    value: Optional[Node] = None
+
+
+@dataclass
+class GlobalDecl(Node):
+    name: str = ""
+    value: Optional[Node] = None  # constant initialiser
+    size: int = 1                 # words reserved (global arrays)
+
+
+@dataclass
+class FnDecl(Node):
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class Module(Node):
+    items: List[Node] = field(default_factory=list)

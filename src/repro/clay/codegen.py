@@ -1,0 +1,436 @@
+"""Clay → LIR code generator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.clay import ast
+from repro.errors import ClayCompileError
+from repro.lowlevel import api
+from repro.lowlevel.program import FunctionBuilder, Opcode, Program
+
+#: first word address handed to globals (0 stays a distinguishable null).
+GLOBALS_BASE = 16
+
+#: Clay builtins that lower to guest-API hypercalls: name -> (api, min, max).
+_HYPER_BUILTINS = {
+    "log_pc": (api.LOG_PC, 2, 2),
+    "start_symbolic": (api.START_SYMBOLIC, 0, 0),
+    "end_symbolic": (api.END_SYMBOLIC, 0, 1),
+    "make_symbolic": (api.MAKE_SYMBOLIC, 2, 4),
+    "concretize": (api.CONCRETIZE, 1, 1),
+    "upper_bound": (api.UPPER_BOUND, 1, 1),
+    "is_symbolic": (api.IS_SYMBOLIC, 1, 1),
+    "assume": (api.ASSUME, 1, 1),
+    "out": (api.OUT, 1, 1),
+    "event": (api.EVENT, 1, 3),
+    "abort": (api.ABORT, 0, 1),
+    "trace": (api.TRACE, 1, 1),
+}
+
+_RESERVED = set(_HYPER_BUILTINS) | {"load", "store"}
+
+
+@dataclass
+class CompiledClay:
+    """Result of compiling Clay source: a finalized LIR program + symbols."""
+
+    program: Program
+    #: global variable/array name -> word address.
+    symbols: Dict[str, int] = field(default_factory=dict)
+    #: compile-time constants (after folding).
+    consts: Dict[str, int] = field(default_factory=dict)
+    #: first address past the static data segment.
+    data_end: int = 0
+
+
+class _FnContext:
+    def __init__(self, builder: FunctionBuilder):
+        self.builder = builder
+        self.locals: Dict[str, int] = {}
+        self.loop_stack: List[tuple] = []  # (continue_label, break_label)
+
+
+class _Codegen:
+    def __init__(self, module: ast.Module, entry: str):
+        self.module = module
+        self.entry = entry
+        self.consts: Dict[str, int] = {}
+        self.globals: Dict[str, int] = {}       # scalar globals -> address
+        self.global_arrays: Dict[str, int] = {} # array globals -> base address
+        self.signatures: Dict[str, int] = {}    # fn name -> arity
+        self.program = Program(entry=entry)
+        self._next_addr = GLOBALS_BASE
+
+    # -- driving ---------------------------------------------------------------
+
+    def run(self) -> CompiledClay:
+        self._collect_items()
+        if self.entry not in self.signatures:
+            raise ClayCompileError(f"entry function {self.entry!r} is not defined")
+        if self.signatures[self.entry] != 0:
+            raise ClayCompileError(f"entry function {self.entry!r} must take no parameters")
+        for item in self.module.items:
+            if isinstance(item, ast.FnDecl):
+                self._gen_function(item)
+        self.program.data_end = max(self.program.data_end, self._next_addr)
+        self.program.finalize()
+        symbols = dict(self.globals)
+        symbols.update(self.global_arrays)
+        return CompiledClay(
+            program=self.program,
+            symbols=symbols,
+            consts=dict(self.consts),
+            data_end=self.program.data_end,
+        )
+
+    def _collect_items(self) -> None:
+        for item in self.module.items:
+            if isinstance(item, ast.ConstDecl):
+                if item.name in self.consts:
+                    raise ClayCompileError(f"duplicate const {item.name!r}")
+                value = self._const_eval(item.value)
+                if value is None:
+                    raise ClayCompileError(
+                        f"const {item.name!r} initialiser is not a constant "
+                        f"expression (line {item.line})"
+                    )
+                self.consts[item.name] = value
+            elif isinstance(item, ast.GlobalDecl):
+                self._declare_global(item)
+            elif isinstance(item, ast.FnDecl):
+                if item.name in self.signatures:
+                    raise ClayCompileError(f"duplicate function {item.name!r}")
+                if item.name in _RESERVED:
+                    raise ClayCompileError(
+                        f"function name {item.name!r} shadows a builtin"
+                    )
+                self.signatures[item.name] = len(item.params)
+
+    def _declare_global(self, item: ast.GlobalDecl) -> None:
+        if item.name in self.globals or item.name in self.global_arrays:
+            raise ClayCompileError(f"duplicate global {item.name!r}")
+        if item.size < 1:
+            raise ClayCompileError(f"global array {item.name!r} has size < 1")
+        addr = self._next_addr
+        self._next_addr += item.size
+        if item.size == 1 and item.value is not None:
+            value = self._const_eval(item.value)
+            if value is None:
+                raise ClayCompileError(
+                    f"global {item.name!r} initialiser must be constant"
+                )
+            self.program.set_static(addr, [value])
+            self.globals[item.name] = addr
+        elif item.size == 1:
+            self.program.set_static(addr, [0])
+            self.globals[item.name] = addr
+        else:
+            self.program.set_static(addr, [0] * item.size)
+            self.global_arrays[item.name] = addr
+
+    # -- constant folding --------------------------------------------------------
+
+    def _const_eval(self, node) -> Optional[int]:
+        if node is None:
+            return None
+        if isinstance(node, ast.IntLit):
+            return node.value
+        if isinstance(node, ast.Name):
+            return self.consts.get(node.ident)
+        if isinstance(node, ast.Unary):
+            inner = self._const_eval(node.operand)
+            if inner is None:
+                return None
+            if node.op == "neg":
+                return -inner
+            if node.op == "lnot":
+                return int(inner == 0)
+            return ~inner
+        if isinstance(node, ast.Binary):
+            left = self._const_eval(node.left)
+            right = self._const_eval(node.right)
+            if left is None or right is None:
+                return None
+            from repro.lowlevel.expr import _apply_binop
+
+            try:
+                return _apply_binop(node.op, left, right)
+            except (ZeroDivisionError, ValueError):
+                raise ClayCompileError(
+                    f"invalid constant expression at line {node.line}"
+                )
+        if isinstance(node, ast.Logical):
+            left = self._const_eval(node.left)
+            if left is None:
+                return None
+            if node.op == "&&" and left == 0:
+                return 0
+            if node.op == "||" and left != 0:
+                return 1
+            right = self._const_eval(node.right)
+            if right is None:
+                return None
+            return int(right != 0)
+        return None
+
+    # -- functions ------------------------------------------------------------------
+
+    def _gen_function(self, decl: ast.FnDecl) -> None:
+        builder = FunctionBuilder(decl.name, len(decl.params))
+        ctx = _FnContext(builder)
+        for index, param in enumerate(decl.params):
+            if param in ctx.locals:
+                raise ClayCompileError(
+                    f"duplicate parameter {param!r} in {decl.name!r}"
+                )
+            ctx.locals[param] = index
+        self._gen_body(ctx, decl.body)
+        builder.emit(Opcode.RET, a=None)
+        self.program.add_function(builder.finish())
+
+    def _gen_body(self, ctx: _FnContext, stmts: List[ast.Node]) -> None:
+        for stmt in stmts:
+            self._gen_stmt(ctx, stmt)
+
+    # -- statements ---------------------------------------------------------------------
+
+    def _gen_stmt(self, ctx: _FnContext, stmt: ast.Node) -> None:
+        builder = ctx.builder
+        builder.set_line(stmt.line)
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.name in ctx.locals:
+                raise ClayCompileError(
+                    f"variable {stmt.name!r} redeclared (line {stmt.line})"
+                )
+            reg = self._gen_expr(ctx, stmt.value)
+            target = builder.new_reg()
+            builder.emit(Opcode.MOVE, dst=target, a=reg)
+            ctx.locals[stmt.name] = target
+            return
+        if isinstance(stmt, ast.Assign):
+            self._gen_assign(ctx, stmt)
+            return
+        if isinstance(stmt, ast.If):
+            self._gen_if(ctx, stmt)
+            return
+        if isinstance(stmt, ast.While):
+            self._gen_while(ctx, stmt)
+            return
+        if isinstance(stmt, ast.Break):
+            if not ctx.loop_stack:
+                raise ClayCompileError(f"'break' outside loop (line {stmt.line})")
+            builder.emit(Opcode.JMP, a=builder.label_ref(ctx.loop_stack[-1][1]))
+            return
+        if isinstance(stmt, ast.Continue):
+            if not ctx.loop_stack:
+                raise ClayCompileError(f"'continue' outside loop (line {stmt.line})")
+            builder.emit(Opcode.JMP, a=builder.label_ref(ctx.loop_stack[-1][0]))
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                builder.emit(Opcode.RET, a=None)
+            else:
+                reg = self._gen_expr(ctx, stmt.value)
+                builder.emit(Opcode.RET, a=reg)
+            return
+        if isinstance(stmt, ast.ExprStmt):
+            self._gen_expr(ctx, stmt.expr)
+            return
+        raise ClayCompileError(f"unsupported statement {stmt!r}")
+
+    def _gen_assign(self, ctx: _FnContext, stmt: ast.Assign) -> None:
+        builder = ctx.builder
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            name = target.ident
+            if name in ctx.locals:
+                value = self._gen_expr(ctx, stmt.value)
+                builder.emit(Opcode.MOVE, dst=ctx.locals[name], a=value)
+                return
+            if name in self.globals:
+                value = self._gen_expr(ctx, stmt.value)
+                addr = builder.const(self.globals[name])
+                builder.emit(Opcode.STORE, a=addr, b=value)
+                return
+            if name in self.global_arrays:
+                raise ClayCompileError(
+                    f"cannot assign to array global {name!r} (line {stmt.line})"
+                )
+            raise ClayCompileError(
+                f"assignment to undefined variable {name!r} (line {stmt.line})"
+            )
+        assert isinstance(target, ast.Index)
+        base = self._gen_expr(ctx, target.base)
+        offset = self._gen_expr(ctx, target.offset)
+        addr = builder.new_reg()
+        builder.emit(Opcode.BIN, dst=addr, a=base, b=offset, extra="add")
+        value = self._gen_expr(ctx, stmt.value)
+        builder.emit(Opcode.STORE, a=addr, b=value)
+
+    def _gen_if(self, ctx: _FnContext, stmt: ast.If) -> None:
+        builder = ctx.builder
+        cond = self._gen_expr(ctx, stmt.cond)
+        then_label = builder.new_label()
+        else_label = builder.new_label()
+        end_label = builder.new_label()
+        builder.emit(
+            Opcode.BR, a=cond,
+            b=builder.label_ref(then_label), extra=builder.label_ref(else_label),
+        )
+        builder.place_label(then_label)
+        self._gen_body(ctx, stmt.then_body)
+        builder.emit(Opcode.JMP, a=builder.label_ref(end_label))
+        builder.place_label(else_label)
+        self._gen_body(ctx, stmt.else_body)
+        builder.place_label(end_label)
+
+    def _gen_while(self, ctx: _FnContext, stmt: ast.While) -> None:
+        builder = ctx.builder
+        head_label = builder.new_label()
+        body_label = builder.new_label()
+        end_label = builder.new_label()
+        builder.place_label(head_label)
+        cond = self._gen_expr(ctx, stmt.cond)
+        builder.emit(
+            Opcode.BR, a=cond,
+            b=builder.label_ref(body_label), extra=builder.label_ref(end_label),
+        )
+        builder.place_label(body_label)
+        ctx.loop_stack.append((head_label, end_label))
+        self._gen_body(ctx, stmt.body)
+        ctx.loop_stack.pop()
+        builder.emit(Opcode.JMP, a=builder.label_ref(head_label))
+        builder.place_label(end_label)
+
+    # -- expressions ------------------------------------------------------------------------
+
+    def _gen_expr(self, ctx: _FnContext, node: ast.Node) -> int:
+        builder = ctx.builder
+        folded = self._const_eval(node)
+        if folded is not None:
+            return builder.const(folded)
+        if isinstance(node, ast.IntLit):
+            return builder.const(node.value)
+        if isinstance(node, ast.Name):
+            return self._gen_name(ctx, node)
+        if isinstance(node, ast.Unary):
+            operand = self._gen_expr(ctx, node.operand)
+            dst = builder.new_reg()
+            builder.emit(Opcode.UN, dst=dst, a=operand, extra=node.op)
+            return dst
+        if isinstance(node, ast.Binary):
+            left = self._gen_expr(ctx, node.left)
+            right = self._gen_expr(ctx, node.right)
+            dst = builder.new_reg()
+            builder.emit(Opcode.BIN, dst=dst, a=left, b=right, extra=node.op)
+            return dst
+        if isinstance(node, ast.Logical):
+            return self._gen_logical(ctx, node)
+        if isinstance(node, ast.Index):
+            base = self._gen_expr(ctx, node.base)
+            offset = self._gen_expr(ctx, node.offset)
+            addr = builder.new_reg()
+            builder.emit(Opcode.BIN, dst=addr, a=base, b=offset, extra="add")
+            dst = builder.new_reg()
+            builder.emit(Opcode.LOAD, dst=dst, a=addr)
+            return dst
+        if isinstance(node, ast.Call):
+            return self._gen_call(ctx, node)
+        raise ClayCompileError(f"unsupported expression {node!r}")
+
+    def _gen_name(self, ctx: _FnContext, node: ast.Name) -> int:
+        builder = ctx.builder
+        name = node.ident
+        if name in ctx.locals:
+            return ctx.locals[name]
+        if name in self.globals:
+            addr = builder.const(self.globals[name])
+            dst = builder.new_reg()
+            builder.emit(Opcode.LOAD, dst=dst, a=addr)
+            return dst
+        if name in self.global_arrays:
+            return builder.const(self.global_arrays[name])
+        raise ClayCompileError(f"undefined name {name!r} (line {node.line})")
+
+    def _gen_logical(self, ctx: _FnContext, node: ast.Logical) -> int:
+        # Short-circuit evaluation, compiled to branches like C.
+        builder = ctx.builder
+        result = builder.new_reg()
+        eval_right = builder.new_label()
+        set_true = builder.new_label()
+        set_false = builder.new_label()
+        end = builder.new_label()
+        left = self._gen_expr(ctx, node.left)
+        if node.op == "&&":
+            builder.emit(
+                Opcode.BR, a=left,
+                b=builder.label_ref(eval_right), extra=builder.label_ref(set_false),
+            )
+        else:
+            builder.emit(
+                Opcode.BR, a=left,
+                b=builder.label_ref(set_true), extra=builder.label_ref(eval_right),
+            )
+        builder.place_label(eval_right)
+        right = self._gen_expr(ctx, node.right)
+        builder.emit(
+            Opcode.BR, a=right,
+            b=builder.label_ref(set_true), extra=builder.label_ref(set_false),
+        )
+        builder.place_label(set_true)
+        builder.emit(Opcode.CONST, dst=result, a=1)
+        builder.emit(Opcode.JMP, a=builder.label_ref(end))
+        builder.place_label(set_false)
+        builder.emit(Opcode.CONST, dst=result, a=0)
+        builder.place_label(end)
+        return result
+
+    def _gen_call(self, ctx: _FnContext, node: ast.Call) -> int:
+        builder = ctx.builder
+        name = node.callee
+        if name == "load":
+            if len(node.args) != 1:
+                raise ClayCompileError(f"load() takes 1 argument (line {node.line})")
+            addr = self._gen_expr(ctx, node.args[0])
+            dst = builder.new_reg()
+            builder.emit(Opcode.LOAD, dst=dst, a=addr)
+            return dst
+        if name == "store":
+            if len(node.args) != 2:
+                raise ClayCompileError(f"store() takes 2 arguments (line {node.line})")
+            addr = self._gen_expr(ctx, node.args[0])
+            value = self._gen_expr(ctx, node.args[1])
+            builder.emit(Opcode.STORE, a=addr, b=value)
+            return builder.const(0)
+        if name in _HYPER_BUILTINS:
+            hyper, lo, hi = _HYPER_BUILTINS[name]
+            if not (lo <= len(node.args) <= hi):
+                raise ClayCompileError(
+                    f"{name}() takes {lo}..{hi} arguments, got {len(node.args)} "
+                    f"(line {node.line})"
+                )
+            args = tuple(self._gen_expr(ctx, a) for a in node.args)
+            dst = builder.new_reg()
+            builder.emit(Opcode.HYPER, dst=dst, extra=hyper, args=args)
+            return dst
+        if name not in self.signatures:
+            raise ClayCompileError(f"call to undefined function {name!r} (line {node.line})")
+        if len(node.args) != self.signatures[name]:
+            raise ClayCompileError(
+                f"{name}() takes {self.signatures[name]} arguments, got "
+                f"{len(node.args)} (line {node.line})"
+            )
+        args = tuple(self._gen_expr(ctx, a) for a in node.args)
+        dst = builder.new_reg()
+        builder.emit(Opcode.CALL, dst=dst, extra=name, args=args)
+        return dst
+
+
+def compile_program(source: str, entry: str = "main") -> CompiledClay:
+    """Compile Clay source text to a finalized LIR program."""
+    from repro.clay.parser import parse
+
+    module = parse(source)
+    return _Codegen(module, entry).run()

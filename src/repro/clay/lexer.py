@@ -1,0 +1,135 @@
+"""Tokenizer for the Clay language."""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+from repro.errors import ClaySyntaxError
+
+KEYWORDS = {
+    "fn", "var", "global", "const", "if", "else", "while",
+    "break", "continue", "return",
+}
+
+#: multi-character operators, longest first.
+_MULTI_OPS = ["<<", ">>", "<=", ">=", "==", "!=", "&&", "||"]
+_SINGLE_OPS = set("+-*/%&|^~!<>=(){}[],;")
+
+_ESCAPES = {
+    "n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34,
+}
+
+
+class Token(NamedTuple):
+    kind: str      # "int", "ident", "kw", "op", "eof"
+    value: object  # int for "int", str otherwise
+    line: int
+    column: int
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convert Clay source into a token list ending with an EOF token."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(message: str) -> ClaySyntaxError:
+        return ClaySyntaxError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            skipped = source[i:end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        start_col = col
+        if ch.isdigit():
+            j = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                if j == i + 2:
+                    raise error("malformed hex literal")
+                value = int(source[i:j], 16)
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                value = int(source[i:j])
+            tokens.append(Token("int", value, line, start_col))
+            col += j - i
+            i = j
+            continue
+        if ch == "'":
+            j = i + 1
+            if j < n and source[j] == "\\":
+                if j + 1 >= n:
+                    raise error("unterminated character literal")
+                esc = source[j + 1]
+                if esc not in _ESCAPES:
+                    raise error(f"unknown escape \\{esc}")
+                value = _ESCAPES[esc]
+                j += 2
+            elif j < n and source[j] != "'":
+                value = ord(source[j])
+                j += 1
+            else:
+                raise error("empty character literal")
+            if j >= n or source[j] != "'":
+                raise error("unterminated character literal")
+            tokens.append(Token("int", value, line, start_col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = "kw" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line, start_col))
+            col += j - i
+            i = j
+            continue
+        matched = None
+        for op in _MULTI_OPS:
+            if source.startswith(op, i):
+                matched = op
+                break
+        if matched:
+            tokens.append(Token("op", matched, line, start_col))
+            i += len(matched)
+            col += len(matched)
+            continue
+        if ch in _SINGLE_OPS:
+            tokens.append(Token("op", ch, line, start_col))
+            i += 1
+            col += 1
+            continue
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,268 @@
+"""Recursive-descent parser for Clay (C expression precedence)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.clay import ast
+from repro.clay.lexer import Token, tokenize
+from repro.errors import ClaySyntaxError
+
+_BINARY_LEVELS = [
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+_OP_NAMES = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+    "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
+    "==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def error(self, message: str) -> ClaySyntaxError:
+        tok = self.current
+        return ClaySyntaxError(message + f" (got {tok.value!r})", tok.line, tok.column)
+
+    def advance(self) -> Token:
+        tok = self.current
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check(self, kind: str, value=None) -> bool:
+        tok = self.current
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    def accept(self, kind: str, value=None) -> bool:
+        if self.check(kind, value):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, kind: str, value=None) -> Token:
+        if not self.check(kind, value):
+            want = value if value is not None else kind
+            raise self.error(f"expected {want!r}")
+        return self.advance()
+
+    # -- top level ----------------------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        items: List[ast.Node] = []
+        while not self.check("eof"):
+            if self.check("kw", "const"):
+                items.append(self.parse_const())
+            elif self.check("kw", "global"):
+                items.append(self.parse_global())
+            elif self.check("kw", "fn"):
+                items.append(self.parse_fn())
+            else:
+                raise self.error("expected 'fn', 'global' or 'const'")
+        return ast.Module(items=items)
+
+    def parse_const(self) -> ast.ConstDecl:
+        tok = self.expect("kw", "const")
+        name = self.expect("ident").value
+        self.expect("op", "=")
+        value = self.parse_expr()
+        self.expect("op", ";")
+        return ast.ConstDecl(line=tok.line, name=name, value=value)
+
+    def parse_global(self) -> ast.GlobalDecl:
+        tok = self.expect("kw", "global")
+        name = self.expect("ident").value
+        size = 1
+        value = None
+        if self.accept("op", "["):
+            size_tok = self.expect("int")
+            size = size_tok.value
+            self.expect("op", "]")
+        elif self.accept("op", "="):
+            value = self.parse_expr()
+        self.expect("op", ";")
+        return ast.GlobalDecl(line=tok.line, name=name, value=value, size=size)
+
+    def parse_fn(self) -> ast.FnDecl:
+        tok = self.expect("kw", "fn")
+        name = self.expect("ident").value
+        self.expect("op", "(")
+        params: List[str] = []
+        if not self.check("op", ")"):
+            params.append(self.expect("ident").value)
+            while self.accept("op", ","):
+                params.append(self.expect("ident").value)
+        self.expect("op", ")")
+        body = self.parse_block()
+        return ast.FnDecl(line=tok.line, name=name, params=params, body=body)
+
+    # -- statements -------------------------------------------------------------------
+
+    def parse_block(self) -> List[ast.Node]:
+        self.expect("op", "{")
+        stmts: List[ast.Node] = []
+        while not self.check("op", "}"):
+            if self.check("eof"):
+                raise self.error("unterminated block")
+            stmts.append(self.parse_stmt())
+        self.expect("op", "}")
+        return stmts
+
+    def parse_stmt(self) -> ast.Node:
+        tok = self.current
+        if self.check("kw", "var"):
+            self.advance()
+            name = self.expect("ident").value
+            self.expect("op", "=")
+            value = self.parse_expr()
+            self.expect("op", ";")
+            return ast.VarDecl(line=tok.line, name=name, value=value)
+        if self.check("kw", "if"):
+            return self.parse_if()
+        if self.check("kw", "while"):
+            self.advance()
+            self.expect("op", "(")
+            cond = self.parse_expr()
+            self.expect("op", ")")
+            body = self.parse_block()
+            return ast.While(line=tok.line, cond=cond, body=body)
+        if self.check("kw", "break"):
+            self.advance()
+            self.expect("op", ";")
+            return ast.Break(line=tok.line)
+        if self.check("kw", "continue"):
+            self.advance()
+            self.expect("op", ";")
+            return ast.Continue(line=tok.line)
+        if self.check("kw", "return"):
+            self.advance()
+            value = None
+            if not self.check("op", ";"):
+                value = self.parse_expr()
+            self.expect("op", ";")
+            return ast.Return(line=tok.line, value=value)
+        # Expression statement or assignment.
+        expr = self.parse_expr()
+        if self.accept("op", "="):
+            if not isinstance(expr, (ast.Name, ast.Index)):
+                raise self.error("invalid assignment target")
+            value = self.parse_expr()
+            self.expect("op", ";")
+            return ast.Assign(line=tok.line, target=expr, value=value)
+        self.expect("op", ";")
+        return ast.ExprStmt(line=tok.line, expr=expr)
+
+    def parse_if(self) -> ast.If:
+        tok = self.expect("kw", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then_body = self.parse_block()
+        else_body: List[ast.Node] = []
+        if self.accept("kw", "else"):
+            if self.check("kw", "if"):
+                else_body = [self.parse_if()]
+            else:
+                else_body = self.parse_block()
+        return ast.If(line=tok.line, cond=cond, then_body=then_body, else_body=else_body)
+
+    # -- expressions ----------------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Node:
+        return self.parse_logical_or()
+
+    def parse_logical_or(self) -> ast.Node:
+        left = self.parse_logical_and()
+        while self.check("op", "||"):
+            tok = self.advance()
+            right = self.parse_logical_and()
+            left = ast.Logical(line=tok.line, op="||", left=left, right=right)
+        return left
+
+    def parse_logical_and(self) -> ast.Node:
+        left = self.parse_binary(0)
+        while self.check("op", "&&"):
+            tok = self.advance()
+            right = self.parse_binary(0)
+            left = ast.Logical(line=tok.line, op="&&", left=left, right=right)
+        return left
+
+    def parse_binary(self, level: int) -> ast.Node:
+        if level >= len(_BINARY_LEVELS):
+            return self.parse_unary()
+        left = self.parse_binary(level + 1)
+        ops = _BINARY_LEVELS[level]
+        while self.current.kind == "op" and self.current.value in ops:
+            tok = self.advance()
+            right = self.parse_binary(level + 1)
+            left = ast.Binary(
+                line=tok.line, op=_OP_NAMES[tok.value], left=left, right=right
+            )
+        return left
+
+    def parse_unary(self) -> ast.Node:
+        tok = self.current
+        if self.check("op", "-"):
+            self.advance()
+            return ast.Unary(line=tok.line, op="neg", operand=self.parse_unary())
+        if self.check("op", "!"):
+            self.advance()
+            return ast.Unary(line=tok.line, op="lnot", operand=self.parse_unary())
+        if self.check("op", "~"):
+            self.advance()
+            return ast.Unary(line=tok.line, op="bnot", operand=self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Node:
+        expr = self.parse_primary()
+        while self.check("op", "["):
+            tok = self.advance()
+            offset = self.parse_expr()
+            self.expect("op", "]")
+            expr = ast.Index(line=tok.line, base=expr, offset=offset)
+        return expr
+
+    def parse_primary(self) -> ast.Node:
+        tok = self.current
+        if tok.kind == "int":
+            self.advance()
+            return ast.IntLit(line=tok.line, value=tok.value)
+        if tok.kind == "ident":
+            self.advance()
+            if self.check("op", "("):
+                self.advance()
+                args: List[ast.Node] = []
+                if not self.check("op", ")"):
+                    args.append(self.parse_expr())
+                    while self.accept("op", ","):
+                        args.append(self.parse_expr())
+                self.expect("op", ")")
+                return ast.Call(line=tok.line, callee=tok.value, args=args)
+            return ast.Name(line=tok.line, ident=tok.value)
+        if self.accept("op", "("):
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise self.error("expected expression")
+
+
+def parse(source: str) -> ast.Module:
+    """Parse Clay source text into a module AST."""
+    return _Parser(tokenize(source)).parse_module()

@@ -1,0 +1,26 @@
+"""Hand-made dedicated engines and comparisons (§6.6 of the paper).
+
+- :mod:`repro.dedicated.nice` — a NICE-PySE-style dedicated concolic
+  engine working directly on MiniPy bytecode with symbolic integer
+  wrappers and input re-execution, including an optional replica of the
+  ``if not <expr>`` branch-selection bug the paper found in NICE,
+- :mod:`repro.dedicated.features` — the Table 4 feature matrix,
+- :mod:`repro.dedicated.differential` — uses the Chef-generated engine as
+  a reference implementation to find bugs in the dedicated engine.
+"""
+
+from repro.dedicated.nice import DedicatedNiceEngine, DedicatedResult, UnsupportedFeature
+from repro.dedicated.features import FEATURE_MATRIX, SUPPORT_FULL, SUPPORT_NONE, SUPPORT_PARTIAL
+from repro.dedicated.differential import DifferentialReport, differential_test
+
+__all__ = [
+    "DedicatedNiceEngine",
+    "DedicatedResult",
+    "DifferentialReport",
+    "FEATURE_MATRIX",
+    "SUPPORT_FULL",
+    "SUPPORT_NONE",
+    "SUPPORT_PARTIAL",
+    "UnsupportedFeature",
+    "differential_test",
+]

@@ -1,0 +1,480 @@
+"""A NICE-PySE-style dedicated symbolic execution engine for MiniPy.
+
+Like the real NICE (Canini et al., NSDI'12), this engine:
+
+- wraps *integers* in symbolic proxies carrying an expression,
+- hooks the interpretation of the program (here: its own small bytecode
+  evaluator) to record branch conditions along a concrete run,
+- explores by input re-execution: negate one recorded branch, solve,
+  re-run the program from scratch with the new input,
+- supports only part of the language (Table 4): symbolic strings,
+  native methods and exceptions are out of scope; hitting them raises
+  :class:`UnsupportedFeature`.
+
+``legacy_not_bug=True`` replicates the branch-selection bug the paper
+found in NICE via differential testing (§6.6): for ``if not <expr>``
+statements the engine records the *un-negated* condition, so it explores
+the wrong alternate branch, generating redundant tests and missing
+feasible paths.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ReproError, SolverTimeout
+from repro.interpreters.minipy.bytecode import BinOp, CodeObject, CompiledModule, Op, UnOp
+from repro.interpreters.minipy.compiler import compile_source
+from repro.lowlevel.expr import Expr, Sym, evaluate, mk_binop, negate_condition, truth_condition
+from repro.solver.csp import CspSolver
+
+
+class UnsupportedFeature(ReproError):
+    """The dedicated engine hit a language feature it does not model."""
+
+
+_INSTANCE_COUNTER = 0
+
+
+class SymInt:
+    """Symbolic integer proxy (expression + nothing else; concrete values
+    come from the engine's current input assignment)."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr):
+        self.expr = expr
+
+    def __repr__(self) -> str:
+        return f"SymInt({self.expr!r})"
+
+
+@dataclass
+class DedicatedResult:
+    paths: int
+    tests: List[Dict[str, int]]
+    duration: float
+    runs: int
+    branch_conditions: int
+    unsupported: Optional[str] = None
+
+
+_BIN_TO_EXPR = {
+    BinOp.ADD: "add", BinOp.SUB: "sub", BinOp.MUL: "mul",
+    BinOp.FLOORDIV: "div", BinOp.MOD: "mod", BinOp.EQ: "eq",
+    BinOp.NE: "ne", BinOp.LT: "lt", BinOp.LE: "le",
+    BinOp.GT: "gt", BinOp.GE: "ge",
+}
+
+
+@dataclass
+class _Func:
+    code_id: int
+
+
+@dataclass
+class _Builtin:
+    builtin_id: int
+
+
+class _Trace:
+    """One concrete run: branch records (condition expr, taken)."""
+
+    def __init__(self):
+        self.records: List[Tuple[object, bool]] = []
+
+    def signature(self) -> Tuple:
+        return tuple((id(c), taken) for c, taken in self.records)
+
+
+class DedicatedNiceEngine:
+    """Concolic engine over MiniPy bytecode with re-execution."""
+
+    def __init__(
+        self,
+        source: str,
+        legacy_not_bug: bool = False,
+        solver: Optional[CspSolver] = None,
+        instr_budget: int = 400_000,
+    ):
+        self.module: CompiledModule = compile_source(source)
+        self.legacy_not_bug = legacy_not_bug
+        self.solver = solver if solver is not None else CspSolver()
+        self.instr_budget = instr_budget
+        self._var_counter = 0
+        # Unique prefix per instance: the global Sym registry pins a
+        # domain to each name.
+        global _INSTANCE_COUNTER
+        _INSTANCE_COUNTER += 1
+        self._ns = f"d{_INSTANCE_COUNTER}:"
+
+    # -- exploration loop (DART-style generational search) ----------------------
+
+    def run(self, time_budget: float = 10.0, max_paths: int = 0) -> DedicatedResult:
+        start = time.monotonic()
+        seen: Set[Tuple] = set()
+        tests: List[Dict[str, int]] = []
+        worklist: List[Dict[str, int]] = [{}]
+        queued: Set[Tuple] = set()
+        runs = 0
+        branch_count = 0
+        unsupported = None
+        while worklist:
+            if time.monotonic() - start > time_budget:
+                break
+            if max_paths and len(seen) >= max_paths:
+                break
+            assignment = worklist.pop(0)
+            self._var_counter = 0
+            trace = _Trace()
+            try:
+                self._execute(assignment, trace)
+            except UnsupportedFeature as exc:
+                unsupported = str(exc)
+                break
+            except _Budget:
+                pass
+            runs += 1
+            branch_count += len(trace.records)
+            signature = trace.signature()
+            if signature in seen:
+                continue
+            seen.add(signature)
+            tests.append(dict(assignment))
+            # Expand: negate each suffix branch (deepest-first).
+            for index in range(len(trace.records) - 1, -1, -1):
+                cond, taken = trace.records[index]
+                prefix = []
+                for c, t in trace.records[:index]:
+                    prefix.append(truth_condition(c) if t else negate_condition(c))
+                prefix.append(negate_condition(cond) if taken else truth_condition(cond))
+                key = tuple(id(p) if isinstance(p, Expr) else p for p in prefix)
+                if key in queued:
+                    continue
+                queued.add(key)
+                try:
+                    solution = self.solver.solve(prefix, hint=assignment)
+                except SolverTimeout:
+                    continue
+                if solution is None:
+                    continue
+                merged = dict(assignment)
+                merged.update(solution)
+                worklist.append(merged)
+        return DedicatedResult(
+            paths=len(seen),
+            tests=tests,
+            duration=time.monotonic() - start,
+            runs=runs,
+            branch_conditions=branch_count,
+            unsupported=unsupported,
+        )
+
+    # -- one concrete+symbolic execution --------------------------------------------
+
+    def _execute(self, assignment: Dict[str, int], trace: _Trace) -> None:
+        vm = _NiceVM(self, assignment, trace)
+        vm.run_module()
+
+    def _fresh_symbol(self, seed: int, lo: int, hi: int, assignment: Dict[str, int]) -> SymInt:
+        name = f"{self._ns}n{self._var_counter}"
+        self._var_counter += 1
+        sym = Sym(name, lo, hi)
+        assignment.setdefault(name, min(max(seed, lo), hi))
+        return SymInt(sym)
+
+
+class _Budget(Exception):
+    pass
+
+
+class _NiceVM:
+    """Minimal MiniPy bytecode evaluator with symbolic integer support."""
+
+    def __init__(self, engine: DedicatedNiceEngine, assignment: Dict[str, int], trace: _Trace):
+        self.engine = engine
+        self.module = engine.module
+        self.assignment = assignment
+        self.trace = trace
+        self.globals: List[object] = [None] * max(len(self.module.global_names), 1)
+        self.instrs_left = engine.instr_budget
+        self.output: List[int] = []
+        for slot, (kind, value) in self.module.global_inits.items():
+            if kind == "builtin":
+                self.globals[slot] = _Builtin(value)
+            elif kind == "exctype":
+                raise UnsupportedFeature("exception types are not supported")
+
+    # concrete view of a possibly-symbolic value
+    def conc(self, v):
+        if isinstance(v, SymInt):
+            if isinstance(v.expr, Expr):
+                env = dict(self.assignment)
+                for var in v.expr.free_vars():
+                    env.setdefault(var.name, var.lo)
+                return evaluate(v.expr, env)
+            return v.expr
+        return v
+
+    def truth(self, v, negated: bool = False) -> bool:
+        if isinstance(v, SymInt):
+            cond = truth_condition(v.expr) if isinstance(v.expr, Expr) else v.expr
+            taken = self.conc(v) != 0
+            if isinstance(cond, Expr):
+                if negated and self.engine.legacy_not_bug:
+                    # NICE's bug: records the un-negated condition with the
+                    # post-negation outcome, picking wrong alternates.
+                    self.trace.records.append((cond, not taken))
+                else:
+                    self.trace.records.append((cond, taken))
+            return taken
+        if isinstance(v, bool):
+            return v
+        if isinstance(v, int):
+            return v != 0
+        if isinstance(v, (str, list, dict)):
+            return len(v) > 0
+        return v is not None
+
+    def run_module(self) -> None:
+        main = self.module.codes[self.module.main_code]
+        self._eval(main, [None])
+
+    def _call(self, func, args):
+        if isinstance(func, _Func):
+            code = self.module.codes[func.code_id]
+            if len(args) != code.argcount:
+                raise UnsupportedFeature("arity errors are not modelled")
+            frame = list(args) + [None] * (max(code.nlocals, 1) - len(args))
+            return self._eval(code, frame)
+        if isinstance(func, _Builtin):
+            return self._builtin(func.builtin_id, args)
+        raise UnsupportedFeature("calling a non-function value")
+
+    def _builtin(self, bid: int, args):
+        if bid == 1:  # len (concrete containers only)
+            value = args[0]
+            if isinstance(value, (str, list, dict)):
+                return len(value)
+            raise UnsupportedFeature("len() of symbolic value")
+        if bid == 7:  # print
+            self.output.append(self.conc(args[0]) if isinstance(args[0], SymInt) else 0)
+            return None
+        if bid == 9:  # sym_int(seed, lo, hi)
+            seed = self.conc(args[0])
+            lo = self.conc(args[1])
+            hi = self.conc(args[2])
+            return self.engine._fresh_symbol(seed, lo, hi, self.assignment)
+        if bid == 8:  # sym_string: NICE has no symbolic strings (Table 4)
+            raise UnsupportedFeature("symbolic strings are not supported")
+        if bid == 6:  # range
+            if len(args) == 1:
+                return range(self.conc(args[0]))
+            return range(self.conc(args[0]), self.conc(args[1]))
+        if bid == 2:  # ord
+            if isinstance(args[0], str) and len(args[0]) == 1:
+                return ord(args[0])
+            raise UnsupportedFeature("ord() of symbolic value")
+        if bid == 3:  # chr
+            return chr(self.conc(args[0]))
+        if bid == 11:
+            value = args[0]
+            if isinstance(value, SymInt):
+                raise UnsupportedFeature("abs() of symbolic value")
+            return abs(value)
+        if bid in (4, 5, 10, 12, 13):
+            raise UnsupportedFeature(f"builtin {bid} is not supported")
+        raise UnsupportedFeature(f"builtin {bid} is not supported")
+
+    def _binary(self, op: int, a, b):
+        if op in (BinOp.IN, BinOp.NOT_IN):
+            if isinstance(a, SymInt) or isinstance(b, SymInt):
+                if isinstance(b, dict):
+                    # NICE models dict membership over symbolic keys by a
+                    # disjunction of equalities, checked concretely per key.
+                    hit = 0
+                    for key in b:
+                        if isinstance(key, (int, bool)):
+                            eq = mk_binop("eq", _as_expr(a), int(key))
+                            hit = mk_binop("lor", hit, eq)
+                    result = SymInt(hit)
+                    return result if op == BinOp.IN else SymInt(negate_condition(_as_expr(result)))
+                raise UnsupportedFeature("symbolic membership on this container")
+            contains = a in b if not isinstance(b, dict) else a in b
+            return contains if op == BinOp.IN else not contains
+        if isinstance(a, SymInt) or isinstance(b, SymInt):
+            name = _BIN_TO_EXPR.get(op)
+            if name is None:
+                raise UnsupportedFeature(f"symbolic binary op {op}")
+            return SymInt(mk_binop(name, _as_expr(a), _as_expr(b)))
+        if isinstance(a, str) and isinstance(b, str):
+            if op == BinOp.ADD:
+                return a + b
+            if op == BinOp.EQ:
+                return a == b
+            if op == BinOp.NE:
+                return a != b
+            raise UnsupportedFeature("string comparison beyond ==/!=")
+        a_int = int(a) if isinstance(a, bool) else a
+        b_int = int(b) if isinstance(b, bool) else b
+        if op == BinOp.ADD:
+            return a_int + b_int
+        if op == BinOp.SUB:
+            return a_int - b_int
+        if op == BinOp.MUL:
+            return a_int * b_int
+        if op == BinOp.FLOORDIV:
+            return a_int // b_int
+        if op == BinOp.MOD:
+            return a_int % b_int
+        if op == BinOp.EQ:
+            return a_int == b_int
+        if op == BinOp.NE:
+            return a_int != b_int
+        if op == BinOp.LT:
+            return a_int < b_int
+        if op == BinOp.LE:
+            return a_int <= b_int
+        if op == BinOp.GT:
+            return a_int > b_int
+        if op == BinOp.GE:
+            return a_int >= b_int
+        raise UnsupportedFeature(f"binary op {op}")
+
+    def _dict_key(self, key):
+        if isinstance(key, SymInt):
+            # Dict keys are concretised (NICE's wrapped dicts do the same).
+            return self.conc(key)
+        if isinstance(key, (bool, int, str)):
+            return key
+        raise UnsupportedFeature("unhashable dict key")
+
+    def _eval(self, code: CodeObject, frame: List[object]):
+        stack: List[object] = []
+        ip = 0
+        instrs = code.instrs
+        consts = code.consts
+        while True:
+            if self.instrs_left <= 0:
+                raise _Budget()
+            self.instrs_left -= 1
+            op, arg = instrs[ip]
+            ip += 1
+            if op == Op.LOAD_CONST:
+                stack.append(consts[arg])
+            elif op == Op.LOAD_LOCAL:
+                stack.append(frame[arg])
+            elif op == Op.STORE_LOCAL:
+                frame[arg] = stack.pop()
+            elif op == Op.LOAD_GLOBAL:
+                stack.append(self.globals[arg])
+            elif op == Op.STORE_GLOBAL:
+                self.globals[arg] = stack.pop()
+            elif op == Op.BINARY:
+                b = stack.pop()
+                a = stack.pop()
+                stack.append(self._binary(arg, a, b))
+            elif op == Op.UNARY:
+                v = stack.pop()
+                if arg == UnOp.NEG:
+                    if isinstance(v, SymInt):
+                        stack.append(SymInt(mk_binop("sub", 0, _as_expr(v))))
+                    else:
+                        stack.append(-v)
+                else:
+                    if isinstance(v, SymInt):
+                        # "not" applied to a symbolic condition: evaluate it
+                        # now, with the (possibly buggy) polarity handling.
+                        stack.append(not self.truth(v, negated=True))
+                    else:
+                        stack.append(not self.truth(v))
+            elif op == Op.JUMP:
+                ip = arg
+            elif op == Op.POP_JUMP_IF_FALSE:
+                if not self.truth(stack.pop()):
+                    ip = arg
+            elif op == Op.POP_JUMP_IF_TRUE:
+                if self.truth(stack.pop()):
+                    ip = arg
+            elif op == Op.CALL_FUNCTION:
+                args = stack[len(stack) - arg:]
+                del stack[len(stack) - arg:]
+                func = stack.pop()
+                stack.append(self._call(func, args))
+            elif op == Op.RETURN_VALUE:
+                return stack.pop()
+            elif op == Op.BUILD_LIST:
+                items = stack[len(stack) - arg:]
+                del stack[len(stack) - arg:]
+                stack.append(list(items))
+            elif op == Op.BUILD_DICT:
+                pairs = stack[len(stack) - 2 * arg:]
+                del stack[len(stack) - 2 * arg:]
+                d: Dict = {}
+                for k in range(arg):
+                    d[self._dict_key(pairs[2 * k])] = pairs[2 * k + 1]
+                stack.append(d)
+            elif op == Op.BINARY_SUBSCR:
+                index = stack.pop()
+                obj = stack.pop()
+                if isinstance(obj, dict):
+                    stack.append(obj[self._dict_key(index)])
+                elif isinstance(obj, (list, str)):
+                    stack.append(obj[self.conc(index) if isinstance(index, SymInt) else index])
+                else:
+                    raise UnsupportedFeature("subscript on this value")
+            elif op == Op.STORE_SUBSCR:
+                index = stack.pop()
+                obj = stack.pop()
+                value = stack.pop()
+                if isinstance(obj, dict):
+                    obj[self._dict_key(index)] = value
+                elif isinstance(obj, list):
+                    obj[self.conc(index) if isinstance(index, SymInt) else index] = value
+                else:
+                    raise UnsupportedFeature("item assignment on this value")
+            elif op == Op.GET_ITER:
+                obj = stack.pop()
+                if isinstance(obj, range):
+                    stack.append(iter(list(obj)))
+                elif isinstance(obj, (list, str)):
+                    stack.append(iter(list(obj)))
+                elif isinstance(obj, dict):
+                    stack.append(iter(list(obj.keys())))
+                else:
+                    raise UnsupportedFeature("iteration over this value")
+            elif op == Op.FOR_ITER:
+                iterator = stack[-1]
+                try:
+                    stack.append(next(iterator))
+                except StopIteration:
+                    stack.pop()
+                    ip = arg
+            elif op == Op.DUP:
+                stack.append(stack[-1])
+            elif op == Op.POP:
+                stack.pop()
+            elif op == Op.MAKE_FUNCTION:
+                stack.append(_Func(arg))
+            elif op == Op.NOP:
+                pass
+            elif op in (Op.RAISE, Op.SETUP_EXCEPT, Op.POP_BLOCK, Op.LOAD_EXCTYPE, Op.EXC_MATCH):
+                raise UnsupportedFeature("exception handling (advanced control flow)")
+            elif op in (Op.LOAD_METHOD, Op.CALL_METHOD):
+                raise UnsupportedFeature("native methods")
+            elif op == Op.SLICE:
+                raise UnsupportedFeature("slicing")
+            else:
+                raise UnsupportedFeature(f"opcode {op}")
+
+
+def _as_expr(v):
+    if isinstance(v, SymInt):
+        return v.expr
+    if isinstance(v, bool):
+        return int(v)
+    if isinstance(v, int):
+        return v
+    raise UnsupportedFeature("cannot build an expression from this value")

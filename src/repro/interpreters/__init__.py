@@ -1,0 +1,13 @@
+"""Interpreters prepared for Chef: MiniPy and MiniLua.
+
+Each language ships four pieces, mirroring the paper's case studies (§5):
+
+- a host compiler from source text to bytecode (the paper relies on
+  CPython/Lua's own compilers; only the *interpreter loop* runs inside the
+  symbolic VM),
+- an interpreter written in Clay that executes that bytecode on the LVM,
+  instrumented with ``log_pc`` and the §4.2 optimizations,
+- a host reference VM used for test replay and line-coverage measurement
+  (the paper replays tests in a vanilla interpreter),
+- an engine facade that wires image loading, build options and Chef.
+"""

@@ -1,0 +1,20 @@
+"""MiniLua: the Lua-subset language used to reproduce the paper's Lua
+case study (§5.2).
+
+As in the paper's port, the interpreter is configured for *integer*
+numbers, string interning can be disabled, and the interpreter core is
+much smaller than the Python one (Table 2)."""
+
+from repro.interpreters.minilua.bytecode import LuaCode, LuaModule, LOp
+from repro.interpreters.minilua.compiler import compile_lua
+from repro.interpreters.minilua.hostvm import LuaHostVM
+from repro.interpreters.minilua.engine import MiniLuaEngine
+
+__all__ = [
+    "LOp",
+    "LuaCode",
+    "LuaHostVM",
+    "LuaModule",
+    "MiniLuaEngine",
+    "compile_lua",
+]

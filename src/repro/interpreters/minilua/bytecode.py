@@ -1,0 +1,114 @@
+"""MiniLua bytecode (stack machine, two words per instruction)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+class LOp:
+    NOP = 0
+    LOAD_CONST = 1
+    LOAD_LOCAL = 2
+    STORE_LOCAL = 3
+    LOAD_GLOBAL = 4
+    STORE_GLOBAL = 5
+    BINARY = 6
+    UNARY = 7
+    JUMP = 8
+    POP_JUMP_IF_FALSE = 9
+    POP_JUMP_IF_TRUE = 10
+    CALL = 11
+    RETURN = 12
+    NEWTABLE = 13
+    GETTABLE = 15
+    SETTABLE = 16
+    POP = 25
+    MAKE_FUNCTION = 27
+
+    NAMES = {
+        value: name
+        for name, value in vars().items()
+        if isinstance(value, int) and not name.startswith("_")
+    }
+
+
+class LBin:
+    ADD = 0
+    SUB = 1
+    MUL = 2
+    DIV = 3
+    MOD = 4
+    EQ = 5
+    NE = 6
+    LT = 7
+    LE = 8
+    GT = 9
+    GE = 10
+    CONCAT = 11
+
+
+class LUn:
+    NEG = 0
+    NOT = 1
+    LEN = 2
+
+
+#: builtins preloaded in global slots.  Dotted names are the Lua stdlib
+#: modules (resolved at compile time, as the registry tables would be).
+LUA_BUILTINS: Dict[str, int] = {
+    "print": 1,
+    "tostring": 2,
+    "tonumber": 3,
+    "error": 4,
+    "sym_string": 5,
+    "sym_int": 6,
+    "string.sub": 10,
+    "string.find": 11,
+    "string.byte": 12,
+    "string.char": 13,
+    "string.len": 14,
+    "string.lower": 15,
+    "string.upper": 16,
+    "table.insert": 20,
+}
+
+#: runtime error codes (MiniLua has no catchable exceptions; an error
+#: unwinds to the top and is reported as an event).
+LUA_ERROR_USER = 50
+LUA_ERROR_TYPE = 51
+LUA_ERROR_ARITH = 52
+
+LUA_ERROR_NAMES = {
+    LUA_ERROR_USER: "error",
+    LUA_ERROR_TYPE: "type error",
+    LUA_ERROR_ARITH: "arithmetic error",
+}
+
+
+@dataclass
+class LuaCode:
+    code_id: int
+    name: str
+    argcount: int
+    nlocals: int
+    instrs: List[Tuple[int, int]] = field(default_factory=list)
+    consts: List[object] = field(default_factory=list)
+    lines: List[int] = field(default_factory=list)
+    varnames: List[str] = field(default_factory=list)
+
+    def disassemble(self) -> str:
+        out = [f"luacode {self.code_id} <{self.name}>"]
+        for index, (op, arg) in enumerate(self.instrs):
+            out.append(f"  {index:4d}: {LOp.NAMES.get(op, op)} {arg}")
+        return "\n".join(out)
+
+
+@dataclass
+class LuaModule:
+    codes: List[LuaCode]
+    main_code: int
+    global_names: Dict[str, int]
+    global_inits: Dict[int, Tuple[str, int]]
+    coverable_lines: List[int] = field(default_factory=list)
+    source: str = ""

@@ -1,0 +1,312 @@
+"""MiniLua source → bytecode compiler."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import MiniLangCompileError
+from repro.interpreters.minilua import frontend as F
+from repro.interpreters.minilua.bytecode import (
+    LBin,
+    LOp,
+    LUn,
+    LUA_BUILTINS,
+    LuaCode,
+    LuaModule,
+)
+
+_BIN_IDS = {
+    "+": LBin.ADD, "-": LBin.SUB, "*": LBin.MUL, "/": LBin.DIV,
+    "%": LBin.MOD, "==": LBin.EQ, "~=": LBin.NE, "<": LBin.LT,
+    "<=": LBin.LE, ">": LBin.GT, ">=": LBin.GE, "..": LBin.CONCAT,
+}
+
+
+class _LCtx:
+    def __init__(self, code: LuaCode, local_names: Dict[str, int]):
+        self.code = code
+        self.locals = local_names
+        self.loops: List[List] = []  # [break_fixups]
+
+    def emit(self, op: int, arg: int = 0, line: int = 0) -> int:
+        self.code.instrs.append((op, arg))
+        self.code.lines.append(line)
+        return len(self.code.instrs) - 1
+
+    def here(self) -> int:
+        return len(self.code.instrs)
+
+    def patch(self, index: int, target: int) -> None:
+        op, _ = self.code.instrs[index]
+        self.code.instrs[index] = (op, target)
+
+    def const(self, value) -> int:
+        for index, existing in enumerate(self.code.consts):
+            if type(existing) is type(value) and existing == value:
+                return index
+        self.code.consts.append(value)
+        return len(self.code.consts) - 1
+
+    def local_slot(self, name: str) -> int:
+        slot = self.locals.get(name)
+        if slot is None:
+            slot = len(self.locals)
+            self.locals[name] = slot
+        return slot
+
+
+class LuaCompiler:
+    def __init__(self):
+        self.codes: List[LuaCode] = []
+        self.global_names: Dict[str, int] = {}
+        self.global_inits: Dict[int, tuple] = {}
+
+    def compile(self, source: str) -> LuaModule:
+        chunk = F.parse_lua(source)
+        main = LuaCode(code_id=0, name="<chunk>", argcount=0, nlocals=0)
+        self.codes.append(main)
+        ctx = _LCtx(main, {})
+        self._block(ctx, chunk.body)
+        ctx.emit(LOp.LOAD_CONST, ctx.const(None))
+        ctx.emit(LOp.RETURN)
+        main.nlocals = len(ctx.locals)
+        main.varnames = list(ctx.locals)
+        coverable = sorted(
+            {line for code in self.codes for line in code.lines if line > 0}
+        )
+        return LuaModule(
+            codes=self.codes,
+            main_code=0,
+            global_names=dict(self.global_names),
+            global_inits=dict(self.global_inits),
+            coverable_lines=coverable,
+            source=source,
+        )
+
+    def _global_slot(self, name: str) -> int:
+        slot = self.global_names.get(name)
+        if slot is None:
+            slot = len(self.global_names)
+            self.global_names[name] = slot
+            if name in LUA_BUILTINS:
+                self.global_inits[slot] = ("builtin", LUA_BUILTINS[name])
+        return slot
+
+    # -- statements ---------------------------------------------------------------
+
+    def _block(self, ctx: _LCtx, stmts: List[F.LNode]) -> None:
+        for stmt in stmts:
+            self._stmt(ctx, stmt)
+
+    def _stmt(self, ctx: _LCtx, stmt: F.LNode) -> None:
+        line = stmt.line
+        if isinstance(stmt, F.LFunc):
+            self._funcdef(ctx, stmt)
+            return
+        if isinstance(stmt, F.LLocal):
+            if stmt.value is None:
+                ctx.emit(LOp.LOAD_CONST, ctx.const(None), line)
+            else:
+                self._expr(ctx, stmt.value)
+            ctx.emit(LOp.STORE_LOCAL, ctx.local_slot(stmt.name), line)
+            return
+        if isinstance(stmt, F.LAssign):
+            target = stmt.target
+            if isinstance(target, F.LName):
+                self._expr(ctx, stmt.value)
+                if target.ident in ctx.locals:
+                    ctx.emit(LOp.STORE_LOCAL, ctx.locals[target.ident], line)
+                else:
+                    ctx.emit(LOp.STORE_GLOBAL, self._global_slot(target.ident), line)
+            else:
+                assert isinstance(target, F.LIndex)
+                self._expr(ctx, stmt.value)
+                self._expr(ctx, target.obj)
+                self._expr(ctx, target.key)
+                ctx.emit(LOp.SETTABLE, 0, line)
+            return
+        if isinstance(stmt, F.LExprStmt):
+            self._expr(ctx, stmt.expr)
+            ctx.emit(LOp.POP, 0, line)
+            return
+        if isinstance(stmt, F.LIf):
+            self._expr(ctx, stmt.cond)
+            jump_false = ctx.emit(LOp.POP_JUMP_IF_FALSE, 0, line)
+            self._block(ctx, stmt.body)
+            if stmt.orelse:
+                jump_end = ctx.emit(LOp.JUMP, 0, line)
+                ctx.patch(jump_false, ctx.here())
+                self._block(ctx, stmt.orelse)
+                ctx.patch(jump_end, ctx.here())
+            else:
+                ctx.patch(jump_false, ctx.here())
+            return
+        if isinstance(stmt, F.LWhile):
+            head = ctx.here()
+            self._expr(ctx, stmt.cond)
+            jump_end = ctx.emit(LOp.POP_JUMP_IF_FALSE, 0, line)
+            ctx.loops.append([])
+            self._block(ctx, stmt.body)
+            breaks = ctx.loops.pop()
+            ctx.emit(LOp.JUMP, head, line)
+            end = ctx.here()
+            ctx.patch(jump_end, end)
+            for fixup in breaks:
+                ctx.patch(fixup, end)
+            return
+        if isinstance(stmt, F.LForNum):
+            # for i = a, b do body end  ==>  i = a; while i <= b do ... i += 1 end
+            var_slot = ctx.local_slot(stmt.var)
+            limit_slot = ctx.local_slot(f"(limit:{id(stmt)})")
+            self._expr(ctx, stmt.start)
+            ctx.emit(LOp.STORE_LOCAL, var_slot, line)
+            self._expr(ctx, stmt.stop)
+            ctx.emit(LOp.STORE_LOCAL, limit_slot, line)
+            head = ctx.here()
+            ctx.emit(LOp.LOAD_LOCAL, var_slot, line)
+            ctx.emit(LOp.LOAD_LOCAL, limit_slot, line)
+            ctx.emit(LOp.BINARY, LBin.LE, line)
+            jump_end = ctx.emit(LOp.POP_JUMP_IF_FALSE, 0, line)
+            ctx.loops.append([])
+            self._block(ctx, stmt.body)
+            breaks = ctx.loops.pop()
+            ctx.emit(LOp.LOAD_LOCAL, var_slot, line)
+            ctx.emit(LOp.LOAD_CONST, ctx.const(1), line)
+            ctx.emit(LOp.BINARY, LBin.ADD, line)
+            ctx.emit(LOp.STORE_LOCAL, var_slot, line)
+            ctx.emit(LOp.JUMP, head, line)
+            end = ctx.here()
+            ctx.patch(jump_end, end)
+            for fixup in breaks:
+                ctx.patch(fixup, end)
+            return
+        if isinstance(stmt, F.LReturn):
+            if stmt.value is None:
+                ctx.emit(LOp.LOAD_CONST, ctx.const(None), line)
+            else:
+                self._expr(ctx, stmt.value)
+            ctx.emit(LOp.RETURN, 0, line)
+            return
+        if isinstance(stmt, F.LBreak):
+            if not ctx.loops:
+                raise MiniLangCompileError(f"line {line}: break outside loop")
+            ctx.loops[-1].append(ctx.emit(LOp.JUMP, 0, line))
+            return
+        raise MiniLangCompileError(f"unsupported statement {stmt!r}")
+
+    def _funcdef(self, ctx: _LCtx, stmt: F.LFunc) -> None:
+        code = LuaCode(
+            code_id=len(self.codes),
+            name=stmt.name,
+            argcount=len(stmt.params),
+            nlocals=0,
+        )
+        self.codes.append(code)
+        inner_locals = {p: i for i, p in enumerate(stmt.params)}
+        inner = _LCtx(code, inner_locals)
+        self._block(inner, stmt.body)
+        inner.emit(LOp.LOAD_CONST, inner.const(None), stmt.line)
+        inner.emit(LOp.RETURN, 0, stmt.line)
+        code.nlocals = len(inner_locals)
+        code.varnames = list(inner_locals)
+        ctx.emit(LOp.MAKE_FUNCTION, code.code_id, stmt.line)
+        ctx.emit(LOp.STORE_GLOBAL, self._global_slot(stmt.name), stmt.line)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _expr(self, ctx: _LCtx, expr: F.LNode) -> None:
+        line = expr.line
+        if isinstance(expr, F.LNum):
+            ctx.emit(LOp.LOAD_CONST, ctx.const(expr.value), line)
+            return
+        if isinstance(expr, F.LStr):
+            ctx.emit(LOp.LOAD_CONST, ctx.const(expr.value), line)
+            return
+        if isinstance(expr, F.LBool):
+            ctx.emit(LOp.LOAD_CONST, ctx.const(expr.value), line)
+            return
+        if isinstance(expr, F.LNil):
+            ctx.emit(LOp.LOAD_CONST, ctx.const(None), line)
+            return
+        if isinstance(expr, F.LName):
+            if expr.ident in ctx.locals:
+                ctx.emit(LOp.LOAD_LOCAL, ctx.locals[expr.ident], line)
+            else:
+                ctx.emit(LOp.LOAD_GLOBAL, self._global_slot(expr.ident), line)
+            return
+        if isinstance(expr, F.LIndex):
+            dotted = self._dotted_builtin(expr)
+            if dotted is not None:
+                ctx.emit(LOp.LOAD_GLOBAL, self._global_slot(dotted), line)
+                return
+            self._expr(ctx, expr.obj)
+            self._expr(ctx, expr.key)
+            ctx.emit(LOp.GETTABLE, 0, line)
+            return
+        if isinstance(expr, F.LCall):
+            self._expr(ctx, expr.func)
+            for arg in expr.args:
+                self._expr(ctx, arg)
+            ctx.emit(LOp.CALL, len(expr.args), line)
+            return
+        if isinstance(expr, F.LTable):
+            for item in expr.items:
+                self._expr(ctx, item)
+            ctx.emit(LOp.NEWTABLE, len(expr.items), line)
+            return
+        if isinstance(expr, F.LBinary):
+            self._expr(ctx, expr.left)
+            self._expr(ctx, expr.right)
+            ctx.emit(LOp.BINARY, _BIN_IDS[expr.op], line)
+            return
+        if isinstance(expr, F.LLogical):
+            # Boolean-valued short circuit (documented deviation from Lua's
+            # value-returning and/or).
+            self._expr(ctx, expr.left)
+            if expr.op == "and":
+                j1 = ctx.emit(LOp.POP_JUMP_IF_FALSE, 0, line)
+                self._expr(ctx, expr.right)
+                j2 = ctx.emit(LOp.POP_JUMP_IF_FALSE, 0, line)
+                ctx.emit(LOp.LOAD_CONST, ctx.const(True), line)
+                j3 = ctx.emit(LOp.JUMP, 0, line)
+                ctx.patch(j1, ctx.here())
+                ctx.patch(j2, ctx.here())
+                ctx.emit(LOp.LOAD_CONST, ctx.const(False), line)
+                ctx.patch(j3, ctx.here())
+            else:
+                j1 = ctx.emit(LOp.POP_JUMP_IF_TRUE, 0, line)
+                self._expr(ctx, expr.right)
+                j2 = ctx.emit(LOp.POP_JUMP_IF_TRUE, 0, line)
+                ctx.emit(LOp.LOAD_CONST, ctx.const(False), line)
+                j3 = ctx.emit(LOp.JUMP, 0, line)
+                ctx.patch(j1, ctx.here())
+                ctx.patch(j2, ctx.here())
+                ctx.emit(LOp.LOAD_CONST, ctx.const(True), line)
+                ctx.patch(j3, ctx.here())
+            return
+        if isinstance(expr, F.LUnary):
+            self._expr(ctx, expr.operand)
+            if expr.op == "-":
+                ctx.emit(LOp.UNARY, LUn.NEG, line)
+            elif expr.op == "not":
+                ctx.emit(LOp.UNARY, LUn.NOT, line)
+            else:
+                ctx.emit(LOp.UNARY, LUn.LEN, line)
+            return
+        raise MiniLangCompileError(f"unsupported expression {expr!r}")
+
+    @staticmethod
+    def _dotted_builtin(expr: F.LIndex) -> Optional[str]:
+        if (
+            isinstance(expr.obj, F.LName)
+            and expr.obj.ident in ("string", "table")
+            and isinstance(expr.key, F.LStr)
+        ):
+            dotted = f"{expr.obj.ident}.{expr.key.value}"
+            if dotted in LUA_BUILTINS:
+                return dotted
+        return None
+
+
+def compile_lua(source: str) -> LuaModule:
+    return LuaCompiler().compile(source)

@@ -1,0 +1,83 @@
+"""MiniLua engine facade (mirrors the MiniPy one)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.chef.engine import Chef, RunResult
+from repro.chef.options import ChefConfig
+from repro.chef.testcase import TestCase, TestSuite
+from repro.interpreters.minilua.bytecode import LUA_ERROR_NAMES, LuaModule
+from repro.interpreters.minilua.compiler import compile_lua
+from repro.interpreters.minilua.hostvm import LuaHostVM, LuaRunResult
+from repro.interpreters.minipy.engine import compiled_interpreter
+from repro.interpreters.minipy.image import build_image
+from repro.lowlevel.program import Program
+
+#: translation units of the Lua interpreter (shared runtime + Lua loop).
+MINILUA_CLAY_FILES = (
+    "rt_core.clay",
+    "rt_string.clay",
+    "rt_list.clay",
+    "rt_dict.clay",
+    "minilua_interp.clay",
+)
+
+
+class _LuaImageModule:
+    """Adapter giving LuaModule the field names build_image expects."""
+
+    def __init__(self, module: LuaModule):
+        self.codes = module.codes
+        self.main_code = module.main_code
+        self.global_names = module.global_names
+        self.global_inits = module.global_inits
+
+
+class MiniLuaEngine:
+    """A Chef-generated symbolic execution engine for MiniLua."""
+
+    def __init__(self, source: str, config: Optional[ChefConfig] = None):
+        self.source = source
+        self.config = config if config is not None else ChefConfig()
+        self.module: LuaModule = compile_lua(source)
+        self._clay = compiled_interpreter(MINILUA_CLAY_FILES)
+
+    def build_program(self) -> Program:
+        program = Program(entry="main")
+        for name in self._clay.program.functions:
+            program.add_function(self._clay.program.functions[name])
+        program.static_data = dict(self._clay.program.static_data)
+        program.data_end = self._clay.program.data_end
+        program.static_data.update(build_image(_LuaImageModule(self.module)))
+        for name, value in self.config.interpreter_options.as_flag_words().items():
+            program.static_data[self._clay.symbols[name]] = value
+        program.finalize()
+        return program
+
+    def make_chef(self) -> Chef:
+        return Chef(self.build_program(), self.config)
+
+    def run(self) -> RunResult:
+        return self.make_chef().run()
+
+    @staticmethod
+    def ordered_inputs(case: TestCase) -> List[List[int]]:
+        keys = sorted(case.inputs, key=lambda k: int(k[1:]))
+        return [case.inputs[k] for k in keys]
+
+    def replay(self, case: TestCase) -> LuaRunResult:
+        vm = LuaHostVM(self.module, symbolic_inputs=self.ordered_inputs(case))
+        return vm.run()
+
+    def coverage(self, suite: TestSuite, replay_all: bool = False) -> Tuple[Set[int], int]:
+        covered: Set[int] = set()
+        cases = suite.cases if replay_all else suite.high_level_tests()
+        for case in cases:
+            result = self.replay(case)
+            covered |= result.covered_lines
+        coverable = set(self.module.coverable_lines)
+        return covered & coverable, len(coverable)
+
+    def exception_name(self, type_id: int) -> str:
+        return LUA_ERROR_NAMES.get(type_id, f"<lua-error:{type_id}>")

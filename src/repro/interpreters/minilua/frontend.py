@@ -1,0 +1,489 @@
+"""MiniLua lexer and parser (Lua-subset grammar)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, NamedTuple, Optional
+
+from repro.errors import MiniLangSyntaxError
+
+LUA_KEYWORDS = {
+    "function", "local", "if", "then", "elseif", "else", "end", "while",
+    "do", "for", "return", "break", "nil", "true", "false", "and", "or",
+    "not", "in", "repeat", "until",
+}
+
+_OPS = [
+    "==", "~=", "<=", ">=", "..", "+", "-", "*", "/", "%", "#",
+    "<", ">", "=", "(", ")", "{", "}", "[", "]", ",", ".", ":", ";",
+]
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", '"': '"', "'": "'"}
+
+
+class LTok(NamedTuple):
+    kind: str  # name, kw, num, str, op, eof
+    value: object
+    line: int
+
+
+def tokenize_lua(source: str) -> List[LTok]:
+    tokens: List[LTok] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("--", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(LTok("num", int(source[i:j]), line))
+            i = j
+            continue
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            chars: List[str] = []
+            while j < n and source[j] != quote:
+                if source[j] == "\\":
+                    if j + 1 >= n:
+                        raise MiniLangSyntaxError("bad escape", line)
+                    esc = source[j + 1]
+                    if esc == "x":
+                        chars.append(chr(int(source[j + 2 : j + 4], 16)))
+                        j += 4
+                        continue
+                    chars.append(_ESCAPES.get(esc, esc))
+                    j += 2
+                    continue
+                chars.append(source[j])
+                j += 1
+            if j >= n:
+                raise MiniLangSyntaxError("unterminated string", line)
+            tokens.append(LTok("str", "".join(chars), line))
+            i = j + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            tokens.append(LTok("kw" if word in LUA_KEYWORDS else "name", word, line))
+            i = j
+            continue
+        matched = None
+        for op in _OPS:
+            if source.startswith(op, i):
+                matched = op
+                break
+        if matched is None:
+            raise MiniLangSyntaxError(f"unexpected character {ch!r}", line)
+        tokens.append(LTok("op", matched, line))
+        i += len(matched)
+    tokens.append(LTok("eof", None, line))
+    return tokens
+
+
+# -- AST --------------------------------------------------------------------------
+
+@dataclass
+class LNode:
+    line: int = 0
+
+
+@dataclass
+class LNum(LNode):
+    value: int = 0
+
+
+@dataclass
+class LStr(LNode):
+    value: str = ""
+
+
+@dataclass
+class LBool(LNode):
+    value: bool = False
+
+
+@dataclass
+class LNil(LNode):
+    pass
+
+
+@dataclass
+class LName(LNode):
+    ident: str = ""
+
+
+@dataclass
+class LIndex(LNode):
+    obj: Optional[LNode] = None
+    key: Optional[LNode] = None
+
+
+@dataclass
+class LCall(LNode):
+    func: Optional[LNode] = None
+    args: List[LNode] = field(default_factory=list)
+
+
+@dataclass
+class LTable(LNode):
+    items: List[LNode] = field(default_factory=list)
+
+
+@dataclass
+class LBinary(LNode):
+    op: str = ""
+    left: Optional[LNode] = None
+    right: Optional[LNode] = None
+
+
+@dataclass
+class LLogical(LNode):
+    op: str = ""
+    left: Optional[LNode] = None
+    right: Optional[LNode] = None
+
+
+@dataclass
+class LUnary(LNode):
+    op: str = ""
+    operand: Optional[LNode] = None
+
+
+@dataclass
+class LLocal(LNode):
+    name: str = ""
+    value: Optional[LNode] = None
+
+
+@dataclass
+class LAssign(LNode):
+    target: Optional[LNode] = None
+    value: Optional[LNode] = None
+
+
+@dataclass
+class LExprStmt(LNode):
+    expr: Optional[LNode] = None
+
+
+@dataclass
+class LIf(LNode):
+    cond: Optional[LNode] = None
+    body: List[LNode] = field(default_factory=list)
+    orelse: List[LNode] = field(default_factory=list)
+
+
+@dataclass
+class LWhile(LNode):
+    cond: Optional[LNode] = None
+    body: List[LNode] = field(default_factory=list)
+
+
+@dataclass
+class LForNum(LNode):
+    var: str = ""
+    start: Optional[LNode] = None
+    stop: Optional[LNode] = None
+    body: List[LNode] = field(default_factory=list)
+
+
+@dataclass
+class LReturn(LNode):
+    value: Optional[LNode] = None
+
+
+@dataclass
+class LBreak(LNode):
+    pass
+
+
+@dataclass
+class LFunc(LNode):
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: List[LNode] = field(default_factory=list)
+
+
+@dataclass
+class LChunk(LNode):
+    body: List[LNode] = field(default_factory=list)
+
+
+# -- parser ------------------------------------------------------------------------
+
+_CMP = {"==", "~=", "<", "<=", ">", ">="}
+_BLOCK_ENDERS = ("end", "else", "elseif", "until")
+
+
+class LuaParser:
+    def __init__(self, tokens: List[LTok]):
+        self.tokens = tokens
+        self.pos = 0
+
+    @property
+    def cur(self) -> LTok:
+        return self.tokens[self.pos]
+
+    def error(self, message: str) -> MiniLangSyntaxError:
+        return MiniLangSyntaxError(f"{message} (got {self.cur.value!r})", self.cur.line)
+
+    def advance(self) -> LTok:
+        tok = self.cur
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check(self, kind: str, value=None) -> bool:
+        return self.cur.kind == kind and (value is None or self.cur.value == value)
+
+    def accept(self, kind: str, value=None) -> bool:
+        if self.check(kind, value):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, kind: str, value=None) -> LTok:
+        if not self.check(kind, value):
+            raise self.error(f"expected {value or kind!r}")
+        return self.advance()
+
+    def parse_chunk(self) -> LChunk:
+        body = self.parse_block(("<eof>",))
+        if not self.check("eof"):
+            raise self.error("trailing input")
+        return LChunk(line=1, body=body)
+
+    def parse_block(self, enders) -> List[LNode]:
+        body: List[LNode] = []
+        while True:
+            if self.check("eof"):
+                if "<eof>" in enders:
+                    return body
+                raise self.error("unexpected end of input")
+            if self.cur.kind == "kw" and self.cur.value in enders:
+                return body
+            body.append(self.parse_stmt())
+
+    # -- statements ------------------------------------------------------------------
+
+    def parse_stmt(self) -> LNode:
+        tok = self.cur
+        self.accept("op", ";")
+        if self.check("kw", "function"):
+            return self.parse_function()
+        if self.check("kw", "local"):
+            self.advance()
+            name = self.expect("name").value
+            value = None
+            if self.accept("op", "="):
+                value = self.parse_expr()
+            return LLocal(line=tok.line, name=name, value=value)
+        if self.check("kw", "if"):
+            return self.parse_if()
+        if self.check("kw", "while"):
+            self.advance()
+            cond = self.parse_expr()
+            self.expect("kw", "do")
+            body = self.parse_block(("end",))
+            self.expect("kw", "end")
+            return LWhile(line=tok.line, cond=cond, body=body)
+        if self.check("kw", "for"):
+            self.advance()
+            var = self.expect("name").value
+            self.expect("op", "=")
+            start = self.parse_expr()
+            self.expect("op", ",")
+            stop = self.parse_expr()
+            self.expect("kw", "do")
+            body = self.parse_block(("end",))
+            self.expect("kw", "end")
+            return LForNum(line=tok.line, var=var, start=start, stop=stop, body=body)
+        if self.check("kw", "return"):
+            self.advance()
+            value = None
+            if not self.check("eof") and not (
+                self.cur.kind == "kw" and self.cur.value in _BLOCK_ENDERS
+            ):
+                value = self.parse_expr()
+            return LReturn(line=tok.line, value=value)
+        if self.check("kw", "break"):
+            self.advance()
+            return LBreak(line=tok.line)
+        expr = self.parse_expr()
+        if self.accept("op", "="):
+            if not isinstance(expr, (LName, LIndex)):
+                raise self.error("invalid assignment target")
+            value = self.parse_expr()
+            return LAssign(line=tok.line, target=expr, value=value)
+        if not isinstance(expr, LCall):
+            raise self.error("expression statement must be a call")
+        return LExprStmt(line=tok.line, expr=expr)
+
+    def parse_function(self) -> LFunc:
+        tok = self.expect("kw", "function")
+        name = self.expect("name").value
+        self.expect("op", "(")
+        params: List[str] = []
+        if not self.check("op", ")"):
+            params.append(self.expect("name").value)
+            while self.accept("op", ","):
+                params.append(self.expect("name").value)
+        self.expect("op", ")")
+        body = self.parse_block(("end",))
+        self.expect("kw", "end")
+        return LFunc(line=tok.line, name=name, params=params, body=body)
+
+    def parse_if(self) -> LIf:
+        tok = self.advance()  # if / elseif
+        cond = self.parse_expr()
+        self.expect("kw", "then")
+        body = self.parse_block(("end", "else", "elseif"))
+        orelse: List[LNode] = []
+        if self.check("kw", "elseif"):
+            orelse = [self.parse_if()]
+            return LIf(line=tok.line, cond=cond, body=body, orelse=orelse)
+        if self.accept("kw", "else"):
+            orelse = self.parse_block(("end",))
+        self.expect("kw", "end")
+        return LIf(line=tok.line, cond=cond, body=body, orelse=orelse)
+
+    # -- expressions ----------------------------------------------------------------------
+
+    def parse_expr(self) -> LNode:
+        return self.parse_or()
+
+    def parse_or(self) -> LNode:
+        left = self.parse_and()
+        while self.check("kw", "or"):
+            tok = self.advance()
+            left = LLogical(line=tok.line, op="or", left=left, right=self.parse_and())
+        return left
+
+    def parse_and(self) -> LNode:
+        left = self.parse_not()
+        while self.check("kw", "and"):
+            tok = self.advance()
+            left = LLogical(line=tok.line, op="and", left=left, right=self.parse_not())
+        return left
+
+    def parse_not(self) -> LNode:
+        if self.check("kw", "not"):
+            tok = self.advance()
+            return LUnary(line=tok.line, op="not", operand=self.parse_not())
+        return self.parse_cmp()
+
+    def parse_cmp(self) -> LNode:
+        left = self.parse_concat()
+        while self.cur.kind == "op" and self.cur.value in _CMP:
+            tok = self.advance()
+            left = LBinary(line=tok.line, op=tok.value, left=left, right=self.parse_concat())
+        return left
+
+    def parse_concat(self) -> LNode:
+        left = self.parse_add()
+        if self.check("op", ".."):
+            tok = self.advance()
+            # right-associative
+            right = self.parse_concat()
+            return LBinary(line=tok.line, op="..", left=left, right=right)
+        return left
+
+    def parse_add(self) -> LNode:
+        left = self.parse_mul()
+        while self.cur.kind == "op" and self.cur.value in ("+", "-"):
+            tok = self.advance()
+            left = LBinary(line=tok.line, op=tok.value, left=left, right=self.parse_mul())
+        return left
+
+    def parse_mul(self) -> LNode:
+        left = self.parse_unary()
+        while self.cur.kind == "op" and self.cur.value in ("*", "/", "%"):
+            tok = self.advance()
+            left = LBinary(line=tok.line, op=tok.value, left=left, right=self.parse_unary())
+        return left
+
+    def parse_unary(self) -> LNode:
+        if self.check("op", "-"):
+            tok = self.advance()
+            return LUnary(line=tok.line, op="-", operand=self.parse_unary())
+        if self.check("op", "#"):
+            tok = self.advance()
+            return LUnary(line=tok.line, op="#", operand=self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> LNode:
+        expr = self.parse_atom()
+        while True:
+            if self.check("op", "("):
+                tok = self.advance()
+                args: List[LNode] = []
+                if not self.check("op", ")"):
+                    args.append(self.parse_expr())
+                    while self.accept("op", ","):
+                        args.append(self.parse_expr())
+                self.expect("op", ")")
+                expr = LCall(line=tok.line, func=expr, args=args)
+            elif self.check("op", "["):
+                tok = self.advance()
+                key = self.parse_expr()
+                self.expect("op", "]")
+                expr = LIndex(line=tok.line, obj=expr, key=key)
+            elif self.check("op", "."):
+                tok = self.advance()
+                name = self.expect("name").value
+                expr = LIndex(line=tok.line, obj=expr, key=LStr(line=tok.line, value=name))
+            else:
+                return expr
+
+    def parse_atom(self) -> LNode:
+        tok = self.cur
+        if tok.kind == "num":
+            self.advance()
+            return LNum(line=tok.line, value=tok.value)
+        if tok.kind == "str":
+            self.advance()
+            return LStr(line=tok.line, value=tok.value)
+        if self.accept("kw", "true"):
+            return LBool(line=tok.line, value=True)
+        if self.accept("kw", "false"):
+            return LBool(line=tok.line, value=False)
+        if self.accept("kw", "nil"):
+            return LNil(line=tok.line)
+        if tok.kind == "name":
+            self.advance()
+            return LName(line=tok.line, ident=tok.value)
+        if self.accept("op", "("):
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        if self.accept("op", "{"):
+            items: List[LNode] = []
+            if not self.check("op", "}"):
+                items.append(self.parse_expr())
+                while self.accept("op", ","):
+                    if self.check("op", "}"):
+                        break
+                    items.append(self.parse_expr())
+            self.expect("op", "}")
+            return LTable(line=tok.line, items=items)
+        raise self.error("expected expression")
+
+
+def parse_lua(source: str) -> LChunk:
+    return LuaParser(tokenize_lua(source)).parse_chunk()

@@ -1,0 +1,389 @@
+"""Host reference VM for MiniLua bytecode (the vanilla Lua stand-in).
+
+Semantics deliberately mirror the Clay interpreter; note two documented
+deviations from real Lua, shared by both implementations: numbers are
+integers (as in the paper's Lua build), and ``and``/``or`` produce
+booleans rather than operand values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.errors import HostVMError
+from repro.interpreters.minilua.bytecode import (
+    LBin,
+    LOp,
+    LUn,
+    LUA_ERROR_ARITH,
+    LUA_ERROR_TYPE,
+    LUA_ERROR_USER,
+    LuaCode,
+    LuaModule,
+)
+
+
+class LuaError(Exception):
+    def __init__(self, code: int, message: str = ""):
+        super().__init__(f"lua error {code}: {message}")
+        self.code = code
+        #: alias so Lua errors share the MiniPy exception interface.
+        self.type_id = code
+        self.message = message
+
+
+@dataclass
+class LuaFunc:
+    code_id: int
+
+
+@dataclass
+class LuaBuiltin:
+    builtin_id: int
+
+
+@dataclass
+class LuaRunResult:
+    output: List[int] = field(default_factory=list)
+    error: Optional[LuaError] = None
+    covered_lines: Set[int] = field(default_factory=set)
+    hl_instrs: int = 0
+    hit_budget: bool = False
+
+    # Interface parity with the MiniPy host result (used by the runner).
+    @property
+    def exception(self):
+        return self.error
+
+
+class _Budget(Exception):
+    pass
+
+
+class LuaHostVM:
+    """Executes a :class:`LuaModule` with concrete inputs."""
+
+    def __init__(
+        self,
+        module: LuaModule,
+        symbolic_inputs: Optional[Sequence[object]] = None,
+        instr_budget: int = 2_000_000,
+    ):
+        self.module = module
+        self.globals: List[object] = [None] * max(len(module.global_names), 1)
+        self._inputs = list(symbolic_inputs or [])
+        self._next_input = 0
+        self.result = LuaRunResult()
+        self._budget = instr_budget
+        for slot, (kind, value) in module.global_inits.items():
+            if kind == "builtin":
+                self.globals[slot] = LuaBuiltin(value)
+
+    def run(self) -> LuaRunResult:
+        main = self.module.codes[self.module.main_code]
+        try:
+            self._eval(main, [None] * max(main.nlocals, 1))
+        except LuaError as err:
+            self.result.error = err
+        except _Budget:
+            self.result.hit_budget = True
+        return self.result
+
+    def call_function(self, name: str, args: List[object]):
+        slot = self.module.global_names.get(name)
+        if slot is None:
+            raise HostVMError(f"no global {name!r}")
+        func = self.globals[slot]
+        if not isinstance(func, LuaFunc):
+            raise HostVMError(f"{name!r} is not a Lua function")
+        return self._call(func, args)
+
+    # -- semantics ---------------------------------------------------------------
+
+    @staticmethod
+    def _truth(v) -> bool:
+        return not (v is None or v is False)
+
+    def _call(self, func, args: List[object]):
+        if isinstance(func, LuaFunc):
+            code = self.module.codes[func.code_id]
+            frame = list(args[: code.argcount])
+            frame += [None] * (max(code.nlocals, 1) - len(frame))
+            return self._eval(code, frame)
+        if isinstance(func, LuaBuiltin):
+            return self._builtin(func.builtin_id, args)
+        raise LuaError(LUA_ERROR_TYPE, "attempt to call a non-function value")
+
+    def _eval(self, code: LuaCode, frame: List[object]):
+        stack: List[object] = []
+        instrs = code.instrs
+        lines = code.lines
+        consts = code.consts
+        ip = 0
+        while True:
+            if self.result.hl_instrs >= self._budget:
+                raise _Budget()
+            self.result.hl_instrs += 1
+            op, arg = instrs[ip]
+            if lines[ip] > 0:
+                self.result.covered_lines.add(lines[ip])
+            ip += 1
+            if op == LOp.LOAD_CONST:
+                stack.append(consts[arg])
+            elif op == LOp.LOAD_LOCAL:
+                stack.append(frame[arg])
+            elif op == LOp.STORE_LOCAL:
+                frame[arg] = stack.pop()
+            elif op == LOp.LOAD_GLOBAL:
+                stack.append(self.globals[arg])
+            elif op == LOp.STORE_GLOBAL:
+                self.globals[arg] = stack.pop()
+            elif op == LOp.BINARY:
+                right = stack.pop()
+                left = stack.pop()
+                stack.append(self._binary(arg, left, right))
+            elif op == LOp.UNARY:
+                value = stack.pop()
+                if arg == LUn.NEG:
+                    if not isinstance(value, int) or isinstance(value, bool):
+                        raise LuaError(LUA_ERROR_ARITH, "unary minus on non-number")
+                    stack.append(-value)
+                elif arg == LUn.NOT:
+                    stack.append(not self._truth(value))
+                else:
+                    stack.append(self._length(value))
+            elif op == LOp.JUMP:
+                ip = arg
+            elif op == LOp.POP_JUMP_IF_FALSE:
+                if not self._truth(stack.pop()):
+                    ip = arg
+            elif op == LOp.POP_JUMP_IF_TRUE:
+                if self._truth(stack.pop()):
+                    ip = arg
+            elif op == LOp.CALL:
+                args = stack[len(stack) - arg:]
+                del stack[len(stack) - arg:]
+                func = stack.pop()
+                stack.append(self._call(func, args))
+            elif op == LOp.RETURN:
+                return stack.pop()
+            elif op == LOp.NEWTABLE:
+                items = stack[len(stack) - arg:]
+                del stack[len(stack) - arg:]
+                table: Dict = {}
+                for index, item in enumerate(items):
+                    if item is not None:
+                        table[index + 1] = item
+                stack.append(table)
+            elif op == LOp.GETTABLE:
+                key = stack.pop()
+                table = stack.pop()
+                if not isinstance(table, dict):
+                    raise LuaError(LUA_ERROR_TYPE, "attempt to index a non-table")
+                stack.append(table.get(self._table_key(key)))
+            elif op == LOp.SETTABLE:
+                key = stack.pop()
+                table = stack.pop()
+                value = stack.pop()
+                if not isinstance(table, dict):
+                    raise LuaError(LUA_ERROR_TYPE, "attempt to index a non-table")
+                if key is None:
+                    raise LuaError(LUA_ERROR_TYPE, "table index is nil")
+                if value is None:
+                    table.pop(self._table_key(key), None)
+                else:
+                    table[self._table_key(key)] = value
+            elif op == LOp.POP:
+                stack.pop()
+            elif op == LOp.MAKE_FUNCTION:
+                stack.append(LuaFunc(arg))
+            elif op == LOp.NOP:
+                pass
+            else:
+                raise HostVMError(f"unknown lua opcode {op}")
+
+    @staticmethod
+    def _table_key(key):
+        if isinstance(key, bool):
+            return ("bool", key)
+        return key
+
+    def _binary(self, op: int, left, right):
+        if op == LBin.CONCAT:
+            return self._coerce_str(left) + self._coerce_str(right)
+        if op == LBin.EQ:
+            return self._value_eq(left, right)
+        if op == LBin.NE:
+            return not self._value_eq(left, right)
+        if op in (LBin.LT, LBin.LE, LBin.GT, LBin.GE):
+            if not self._is_num(left) or not self._is_num(right):
+                raise LuaError(LUA_ERROR_TYPE, "ordered comparison on non-numbers")
+            a, b = int(left), int(right)
+            return {LBin.LT: a < b, LBin.LE: a <= b, LBin.GT: a > b, LBin.GE: a >= b}[op]
+        if not self._is_num(left) or not self._is_num(right):
+            raise LuaError(LUA_ERROR_ARITH, "arithmetic on non-number")
+        a, b = int(left), int(right)
+        if op == LBin.ADD:
+            return a + b
+        if op == LBin.SUB:
+            return a - b
+        if op == LBin.MUL:
+            return a * b
+        if b == 0:
+            raise LuaError(LUA_ERROR_ARITH, "division by zero")
+        return a // b if op == LBin.DIV else a % b
+
+    @staticmethod
+    def _is_num(v) -> bool:
+        return isinstance(v, int) and not isinstance(v, bool)
+
+    @staticmethod
+    def _value_eq(left, right) -> bool:
+        if isinstance(left, (int, bool)) and isinstance(right, (int, bool)):
+            return int(left) == int(right)
+        if isinstance(left, str) and isinstance(right, str):
+            return left == right
+        if left is None and right is None:
+            return True
+        if isinstance(left, dict) or isinstance(right, dict):
+            return left is right
+        return False
+
+    def _length(self, v):
+        if isinstance(v, str):
+            return len(v)
+        if isinstance(v, dict):
+            n = 0
+            while (n + 1) in v:
+                n += 1
+            return n
+        raise LuaError(LUA_ERROR_TYPE, "length of non-string/table")
+
+    def _coerce_str(self, v) -> str:
+        if isinstance(v, str):
+            return v
+        if isinstance(v, bool):
+            return "true" if v else "false"
+        if isinstance(v, int):
+            return str(v)
+        raise LuaError(LUA_ERROR_TYPE, "cannot concatenate this value")
+
+    # -- builtins -------------------------------------------------------------------
+
+    def _builtin(self, bid: int, args: List[object]):
+        a0 = args[0] if len(args) > 0 else None
+        a1 = args[1] if len(args) > 1 else None
+        a2 = args[2] if len(args) > 2 else None
+        if bid == 1:  # print
+            self._emit(a0)
+            return None
+        if bid == 2:  # tostring
+            if a0 is None:
+                return "nil"
+            return self._coerce_str(a0)
+        if bid == 3:  # tonumber
+            if self._is_num(a0):
+                return a0
+            if isinstance(a0, str):
+                text = a0.strip()
+                neg = text.startswith("-")
+                if neg:
+                    text = text[1:]
+                if text and all("0" <= c <= "9" for c in text):
+                    return -int(text) if neg else int(text)
+            return None
+        if bid == 4:  # error
+            message = a0 if isinstance(a0, str) else ""
+            raise LuaError(LUA_ERROR_USER, message)
+        if bid == 5:  # sym_string (replay: next input)
+            if not isinstance(a0, str):
+                raise LuaError(LUA_ERROR_TYPE, "sym_string needs a string seed")
+            return self._next_symbolic(a0)
+        if bid == 6:  # sym_int
+            if not self._is_num(a0):
+                raise LuaError(LUA_ERROR_TYPE, "sym_int needs an integer seed")
+            return self._next_symbolic(a0)
+        if bid == 10:  # string.sub(s, i, j)
+            if not isinstance(a0, str) or not self._is_num(a1):
+                raise LuaError(LUA_ERROR_TYPE, "string.sub(s, i, j)")
+            return _lua_sub(a0, a1, a2 if self._is_num(a2) else len(a0))
+        if bid == 11:  # string.find(s, sub) -> 1-based or nil (plain)
+            if not isinstance(a0, str) or not isinstance(a1, str):
+                raise LuaError(LUA_ERROR_TYPE, "string.find(s, sub)")
+            found = a0.find(a1)
+            return None if found < 0 else found + 1
+        if bid == 12:  # string.byte(s, i)
+            if not isinstance(a0, str):
+                raise LuaError(LUA_ERROR_TYPE, "string.byte(s, i)")
+            index = a1 if self._is_num(a1) else 1
+            if not 1 <= index <= len(a0):
+                return None
+            return ord(a0[index - 1])
+        if bid == 13:  # string.char(n)
+            if not self._is_num(a0) or not 0 <= a0 < 256:
+                raise LuaError(LUA_ERROR_TYPE, "string.char(n)")
+            return chr(a0)
+        if bid == 14:  # string.len
+            if not isinstance(a0, str):
+                raise LuaError(LUA_ERROR_TYPE, "string.len(s)")
+            return len(a0)
+        if bid == 15:  # string.lower
+            if not isinstance(a0, str):
+                raise LuaError(LUA_ERROR_TYPE, "string.lower(s)")
+            return "".join(chr(ord(c) + 32) if "A" <= c <= "Z" else c for c in a0)
+        if bid == 16:  # string.upper
+            if not isinstance(a0, str):
+                raise LuaError(LUA_ERROR_TYPE, "string.upper(s)")
+            return "".join(chr(ord(c) - 32) if "a" <= c <= "z" else c for c in a0)
+        if bid == 20:  # table.insert(t, v)
+            if not isinstance(a0, dict):
+                raise LuaError(LUA_ERROR_TYPE, "table.insert(t, v)")
+            a0[self._length(a0) + 1] = a1
+            return None
+        raise LuaError(LUA_ERROR_TYPE, f"unknown builtin {bid}")
+
+    def _next_symbolic(self, seed):
+        if self._next_input < len(self._inputs):
+            value = self._inputs[self._next_input]
+            self._next_input += 1
+            if isinstance(seed, str):
+                if isinstance(value, str):
+                    return value
+                return "".join(chr(v & 0xFF) for v in value)
+            if isinstance(value, (list, tuple)):
+                return int(value[0]) if value else seed
+            return int(value)
+        return seed
+
+    def _emit(self, value) -> None:
+        out = self.result.output
+        if isinstance(value, bool):
+            out.extend([2, int(value)])
+        elif isinstance(value, int):
+            out.extend([1, value])
+        elif isinstance(value, str):
+            out.append(4)
+            out.append(len(value))
+            out.extend(ord(c) for c in value)
+        elif value is None:
+            out.append(3)
+        elif isinstance(value, dict):
+            out.extend([6, len(value)])
+        else:
+            out.extend([9, 0])
+
+
+def _lua_sub(s: str, i: int, j: int) -> str:
+    n = len(s)
+    if i < 0:
+        i = max(n + i + 1, 1)
+    elif i == 0:
+        i = 1
+    if j < 0:
+        j = n + j + 1
+    elif j > n:
+        j = n
+    if i > j:
+        return ""
+    return s[i - 1 : j]

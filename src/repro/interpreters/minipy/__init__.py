@@ -1,0 +1,17 @@
+"""MiniPy: the Python-subset language used to reproduce the paper's
+CPython case study (§5.1)."""
+
+from repro.interpreters.minipy.bytecode import CodeObject, CompiledModule, Op
+from repro.interpreters.minipy.compiler import compile_source
+from repro.interpreters.minipy.hostvm import HostVM, MiniPyException
+from repro.interpreters.minipy.engine import MiniPyEngine
+
+__all__ = [
+    "MiniPyEngine",
+    "CodeObject",
+    "CompiledModule",
+    "HostVM",
+    "MiniPyException",
+    "Op",
+    "compile_source",
+]

@@ -1,0 +1,191 @@
+"""MiniPy bytecode: opcodes, code objects, and shared tables.
+
+Instruction encoding is two words — (opcode, arg) — exactly what the
+Clay interpreter reads from the program image.  The HLPC reported through
+``log_pc`` is ``code_id * 2**16 + instruction_offset``, mirroring the
+paper's "block address + offset" construction for CPython.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class Op:
+    """MiniPy opcodes (values are shared with the Clay interpreter)."""
+
+    NOP = 0
+    LOAD_CONST = 1
+    LOAD_LOCAL = 2
+    STORE_LOCAL = 3
+    LOAD_GLOBAL = 4
+    STORE_GLOBAL = 5
+    BINARY = 6
+    UNARY = 7
+    JUMP = 8
+    POP_JUMP_IF_FALSE = 9
+    POP_JUMP_IF_TRUE = 10
+    CALL_FUNCTION = 11
+    RETURN_VALUE = 12
+    BUILD_LIST = 13
+    BUILD_DICT = 14
+    BINARY_SUBSCR = 15
+    STORE_SUBSCR = 16
+    LOAD_METHOD = 17
+    CALL_METHOD = 18
+    RAISE = 19
+    SETUP_EXCEPT = 20
+    POP_BLOCK = 21
+    GET_ITER = 22
+    FOR_ITER = 23
+    DUP = 24
+    POP = 25
+    SLICE = 26
+    MAKE_FUNCTION = 27
+    LOAD_EXCTYPE = 28
+    EXC_MATCH = 29
+
+    NAMES = {
+        value: name
+        for name, value in vars().items()
+        if isinstance(value, int) and not name.startswith("_")
+    }
+
+
+class BinOp:
+    """Arg values of the BINARY opcode."""
+
+    ADD = 0
+    SUB = 1
+    MUL = 2
+    FLOORDIV = 3
+    MOD = 4
+    EQ = 5
+    NE = 6
+    LT = 7
+    LE = 8
+    GT = 9
+    GE = 10
+    IN = 11
+    NOT_IN = 12
+
+    NAMES = {
+        0: "+", 1: "-", 2: "*", 3: "//", 4: "%", 5: "==", 6: "!=",
+        7: "<", 8: "<=", 9: ">", 10: ">=", 11: "in", 12: "not in",
+    }
+
+
+class UnOp:
+    NEG = 0
+    NOT = 1
+
+
+#: builtin function ids (global slots preloaded by the loader).
+BUILTINS: Dict[str, int] = {
+    "len": 1,
+    "ord": 2,
+    "chr": 3,
+    "str": 4,
+    "int": 5,
+    "range": 6,
+    "print": 7,
+    "sym_string": 8,
+    "sym_int": 9,
+    "re_match": 10,   # native extension module (regex-lite, in Clay)
+    "abs": 11,
+    "min": 12,
+    "max": 13,
+}
+
+#: method name ids used by LOAD_METHOD.
+METHODS: Dict[str, int] = {
+    # string methods
+    "find": 1,
+    "startswith": 2,
+    "endswith": 3,
+    "strip": 4,
+    "split": 5,
+    "lower": 6,
+    "upper": 7,
+    "isdigit": 8,
+    "isalpha": 9,
+    "join": 10,
+    "replace": 11,
+    # list methods
+    "append": 20,
+    "pop": 21,
+    # dict methods
+    "get": 30,
+    "keys": 31,
+    "values": 32,
+}
+
+#: builtin exception type ids (custom exceptions are assigned from 100).
+BUILTIN_EXCEPTIONS: Dict[str, int] = {
+    "Exception": 1,
+    "ValueError": 2,
+    "TypeError": 3,
+    "KeyError": 4,
+    "IndexError": 5,
+    "AssertionError": 6,
+    "ZeroDivisionError": 7,
+    "RuntimeError": 8,
+    "StopIteration": 9,
+}
+
+FIRST_CUSTOM_EXCEPTION = 100
+
+
+@dataclass
+class CodeObject:
+    """One compiled block: the module body or a function body."""
+
+    code_id: int
+    name: str
+    argcount: int
+    nlocals: int
+    #: flat (opcode, arg) pairs.
+    instrs: List[Tuple[int, int]] = field(default_factory=list)
+    #: constant pool: ints, strs, True/False/None.
+    consts: List[object] = field(default_factory=list)
+    #: source line of each instruction (coverage + diagnostics).
+    lines: List[int] = field(default_factory=list)
+    #: local variable names, index order (diagnostics).
+    varnames: List[str] = field(default_factory=list)
+
+    def disassemble(self) -> str:
+        out = [f"code {self.code_id} <{self.name}> args={self.argcount} locals={self.nlocals}"]
+        for index, (op, arg) in enumerate(self.instrs):
+            name = Op.NAMES.get(op, str(op))
+            out.append(f"  {index:4d}: {name} {arg}")
+        return "\n".join(out)
+
+
+@dataclass
+class CompiledModule:
+    """A fully compiled MiniPy program (module body + functions)."""
+
+    codes: List[CodeObject]
+    main_code: int
+    #: global name -> slot.
+    global_names: Dict[str, int]
+    #: global slots to preload: slot -> ("builtin", id) | ("exctype", id) | ("func", code_id)
+    global_inits: Dict[int, Tuple[str, int]]
+    #: exception name -> type id (builtins + customs).
+    exception_ids: Dict[str, int]
+    #: source lines that hold executable code (coverable LOC).
+    coverable_lines: List[int] = field(default_factory=list)
+    source: str = ""
+
+    def code_by_name(self, name: str) -> Optional[CodeObject]:
+        for code in self.codes:
+            if code.name == name:
+                return code
+        return None
+
+    def exception_name(self, type_id: int) -> str:
+        for name, known in self.exception_ids.items():
+            if known == type_id:
+                return name
+        return f"<exc:{type_id}>"

@@ -1,0 +1,456 @@
+"""MiniPy source → bytecode compiler (the host-side toolchain).
+
+The paper keeps the target language's own compiler: CPython compiles
+source to bytecode outside the symbolic VM, and only the interpreter loop
+runs symbolically.  This module is the analogue for MiniPy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.errors import MiniLangCompileError
+from repro.interpreters.minipy import frontend as F
+from repro.interpreters.minipy.bytecode import (
+    BUILTIN_EXCEPTIONS,
+    BUILTINS,
+    BinOp,
+    CodeObject,
+    CompiledModule,
+    FIRST_CUSTOM_EXCEPTION,
+    METHODS,
+    Op,
+    UnOp,
+)
+
+_BINOP_IDS = {
+    "+": BinOp.ADD, "-": BinOp.SUB, "*": BinOp.MUL, "//": BinOp.FLOORDIV,
+    "%": BinOp.MOD, "==": BinOp.EQ, "!=": BinOp.NE, "<": BinOp.LT,
+    "<=": BinOp.LE, ">": BinOp.GT, ">=": BinOp.GE, "in": BinOp.IN,
+    "not in": BinOp.NOT_IN,
+}
+
+
+class _Ctx:
+    """Per-code-object compilation context."""
+
+    def __init__(self, code: CodeObject, local_names: Optional[Dict[str, int]]):
+        self.code = code
+        self.locals = local_names  # None for the module body
+        self.loops: List[tuple] = []  # (kind, head_label_fixups, break_fixups)
+
+    def emit(self, op: int, arg: int = 0, line: int = 0) -> int:
+        self.code.instrs.append((op, arg))
+        self.code.lines.append(line)
+        return len(self.code.instrs) - 1
+
+    def here(self) -> int:
+        return len(self.code.instrs)
+
+    def patch(self, index: int, target: int) -> None:
+        op, _ = self.code.instrs[index]
+        self.code.instrs[index] = (op, target)
+
+    def const(self, value) -> int:
+        for index, existing in enumerate(self.code.consts):
+            if type(existing) is type(value) and existing == value:
+                return index
+        self.code.consts.append(value)
+        return len(self.code.consts) - 1
+
+
+class Compiler:
+    """Compiles one MiniPy module (package sources + test driver)."""
+
+    def __init__(self):
+        self.codes: List[CodeObject] = []
+        self.global_names: Dict[str, int] = {}
+        self.global_inits: Dict[int, tuple] = {}
+        self.exception_ids: Dict[str, int] = dict(BUILTIN_EXCEPTIONS)
+        self._next_custom_exc = FIRST_CUSTOM_EXCEPTION
+        self._func_codes: Dict[str, int] = {}
+
+    # -- public ----------------------------------------------------------------
+
+    def compile(self, source: str) -> CompiledModule:
+        module = F.parse_source(source)
+        main = CodeObject(code_id=0, name="<module>", argcount=0, nlocals=0)
+        self.codes.append(main)
+        ctx = _Ctx(main, local_names=None)
+        self._compile_block(ctx, module.body)
+        ctx.emit(Op.LOAD_CONST, ctx.const(None))
+        ctx.emit(Op.RETURN_VALUE)
+        coverable = sorted(
+            {line for code in self.codes for line in code.lines if line > 0}
+        )
+        return CompiledModule(
+            codes=self.codes,
+            main_code=0,
+            global_names=dict(self.global_names),
+            global_inits=dict(self.global_inits),
+            exception_ids=dict(self.exception_ids),
+            coverable_lines=coverable,
+            source=source,
+        )
+
+    # -- name handling ------------------------------------------------------------
+
+    def _global_slot(self, name: str) -> int:
+        slot = self.global_names.get(name)
+        if slot is None:
+            slot = len(self.global_names)
+            self.global_names[name] = slot
+            if name in BUILTINS:
+                self.global_inits[slot] = ("builtin", BUILTINS[name])
+            elif name in self.exception_ids:
+                self.global_inits[slot] = ("exctype", self.exception_ids[name])
+        return slot
+
+    def _exception_id(self, name: str) -> int:
+        known = self.exception_ids.get(name)
+        if known is not None:
+            return known
+        exc_id = self._next_custom_exc
+        self._next_custom_exc += 1
+        self.exception_ids[name] = exc_id
+        return exc_id
+
+    @staticmethod
+    def _collect_locals(params: List[str], body: List[F.Node]) -> Dict[str, int]:
+        names: Dict[str, int] = {}
+        for param in params:
+            if param in names:
+                raise MiniLangCompileError(f"duplicate parameter {param!r}")
+            names[param] = len(names)
+
+        def note(name: str) -> None:
+            if name not in names:
+                names[name] = len(names)
+
+        def walk(stmts: List[F.Node]) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, F.AssignStmt) and isinstance(stmt.target, F.NameExpr):
+                    note(stmt.target.ident)
+                elif isinstance(stmt, F.AugAssignStmt):
+                    note(stmt.target.ident)
+                elif isinstance(stmt, F.ForStmt):
+                    note(stmt.var)
+                    walk(stmt.body)
+                elif isinstance(stmt, F.IfStmt):
+                    walk(stmt.body)
+                    walk(stmt.orelse)
+                elif isinstance(stmt, F.WhileStmt):
+                    walk(stmt.body)
+                elif isinstance(stmt, F.TryStmt):
+                    walk(stmt.body)
+                    for handler in stmt.handlers:
+                        if handler.alias:
+                            note(handler.alias)
+                        walk(handler.body)
+                elif isinstance(stmt, F.FuncDef):
+                    raise MiniLangCompileError(
+                        f"nested function {stmt.name!r} is not supported"
+                    )
+
+        walk(body)
+        return names
+
+    # -- statements -----------------------------------------------------------------
+
+    def _compile_block(self, ctx: _Ctx, stmts: List[F.Node]) -> None:
+        for stmt in stmts:
+            self._compile_stmt(ctx, stmt)
+
+    def _compile_stmt(self, ctx: _Ctx, stmt: F.Node) -> None:
+        line = stmt.line
+        if isinstance(stmt, F.FuncDef):
+            self._compile_funcdef(ctx, stmt)
+            return
+        if isinstance(stmt, F.AssignStmt):
+            if isinstance(stmt.target, F.NameExpr):
+                self._compile_expr(ctx, stmt.value)
+                self._emit_store_name(ctx, stmt.target.ident, line)
+            else:
+                target = stmt.target
+                assert isinstance(target, F.SubscriptExpr)
+                self._compile_expr(ctx, stmt.value)
+                self._compile_expr(ctx, target.obj)
+                self._compile_expr(ctx, target.index)
+                ctx.emit(Op.STORE_SUBSCR, 0, line)
+            return
+        if isinstance(stmt, F.AugAssignStmt):
+            self._compile_name_load(ctx, stmt.target.ident, line)
+            self._compile_expr(ctx, stmt.value)
+            ctx.emit(Op.BINARY, _BINOP_IDS[stmt.op], line)
+            self._emit_store_name(ctx, stmt.target.ident, line)
+            return
+        if isinstance(stmt, F.ExprStmtN):
+            self._compile_expr(ctx, stmt.expr)
+            ctx.emit(Op.POP, 0, line)
+            return
+        if isinstance(stmt, F.IfStmt):
+            self._compile_expr(ctx, stmt.cond)
+            jump_false = ctx.emit(Op.POP_JUMP_IF_FALSE, 0, line)
+            self._compile_block(ctx, stmt.body)
+            if stmt.orelse:
+                jump_end = ctx.emit(Op.JUMP, 0, line)
+                ctx.patch(jump_false, ctx.here())
+                self._compile_block(ctx, stmt.orelse)
+                ctx.patch(jump_end, ctx.here())
+            else:
+                ctx.patch(jump_false, ctx.here())
+            return
+        if isinstance(stmt, F.WhileStmt):
+            head = ctx.here()
+            self._compile_expr(ctx, stmt.cond)
+            jump_end = ctx.emit(Op.POP_JUMP_IF_FALSE, 0, line)
+            ctx.loops.append(["while", head, []])
+            self._compile_block(ctx, stmt.body)
+            _kind, _head, breaks = ctx.loops.pop()
+            ctx.emit(Op.JUMP, head, line)
+            end = ctx.here()
+            ctx.patch(jump_end, end)
+            for fixup in breaks:
+                ctx.patch(fixup, end)
+            return
+        if isinstance(stmt, F.ForStmt):
+            self._compile_expr(ctx, stmt.iterable)
+            ctx.emit(Op.GET_ITER, 0, line)
+            head = ctx.here()
+            for_iter = ctx.emit(Op.FOR_ITER, 0, line)
+            self._emit_store_name(ctx, stmt.var, line)
+            ctx.loops.append(["for", head, []])
+            self._compile_block(ctx, stmt.body)
+            _kind, _head, breaks = ctx.loops.pop()
+            ctx.emit(Op.JUMP, head, line)
+            pop_out = ctx.here()
+            ctx.emit(Op.POP, 0, line)  # break target: discard the iterator
+            end = ctx.here()
+            ctx.patch(for_iter, end)
+            for fixup in breaks:
+                ctx.patch(fixup, pop_out)
+            return
+        if isinstance(stmt, F.BreakStmt):
+            if not ctx.loops:
+                raise MiniLangCompileError(f"line {line}: 'break' outside loop")
+            fixup = ctx.emit(Op.JUMP, 0, line)
+            ctx.loops[-1][2].append(fixup)
+            return
+        if isinstance(stmt, F.ContinueStmt):
+            if not ctx.loops:
+                raise MiniLangCompileError(f"line {line}: 'continue' outside loop")
+            ctx.emit(Op.JUMP, ctx.loops[-1][1], line)
+            return
+        if isinstance(stmt, F.PassStmt):
+            ctx.emit(Op.NOP, 0, line)
+            return
+        if isinstance(stmt, F.ReturnStmt):
+            if ctx.locals is None:
+                raise MiniLangCompileError(f"line {line}: 'return' outside function")
+            if stmt.value is None:
+                ctx.emit(Op.LOAD_CONST, ctx.const(None), line)
+            else:
+                self._compile_expr(ctx, stmt.value)
+            ctx.emit(Op.RETURN_VALUE, 0, line)
+            return
+        if isinstance(stmt, F.RaiseStmt):
+            exc_id = self._exception_id(stmt.exc_name)
+            ctx.emit(Op.LOAD_EXCTYPE, exc_id, line)
+            nargs = 0
+            if stmt.message is not None:
+                self._compile_expr(ctx, stmt.message)
+                nargs = 1
+            ctx.emit(Op.CALL_FUNCTION, nargs, line)
+            ctx.emit(Op.RAISE, 0, line)
+            return
+        if isinstance(stmt, F.AssertStmt):
+            self._compile_expr(ctx, stmt.cond)
+            jump_ok = ctx.emit(Op.POP_JUMP_IF_TRUE, 0, line)
+            exc_id = self._exception_id("AssertionError")
+            ctx.emit(Op.LOAD_EXCTYPE, exc_id, line)
+            ctx.emit(Op.CALL_FUNCTION, 0, line)
+            ctx.emit(Op.RAISE, 0, line)
+            ctx.patch(jump_ok, ctx.here())
+            return
+        if isinstance(stmt, F.TryStmt):
+            self._compile_try(ctx, stmt)
+            return
+        raise MiniLangCompileError(f"unsupported statement {stmt!r}")
+
+    def _compile_funcdef(self, ctx: _Ctx, stmt: F.FuncDef) -> None:
+        if ctx.locals is not None:
+            raise MiniLangCompileError(
+                f"line {stmt.line}: nested function {stmt.name!r} not supported"
+            )
+        local_names = self._collect_locals(stmt.params, stmt.body)
+        code = CodeObject(
+            code_id=len(self.codes),
+            name=stmt.name,
+            argcount=len(stmt.params),
+            nlocals=len(local_names),
+            varnames=list(local_names),
+        )
+        self.codes.append(code)
+        self._func_codes[stmt.name] = code.code_id
+        inner = _Ctx(code, local_names=dict(local_names))
+        self._compile_block(inner, stmt.body)
+        inner.emit(Op.LOAD_CONST, inner.const(None), stmt.line)
+        inner.emit(Op.RETURN_VALUE, 0, stmt.line)
+        ctx.emit(Op.MAKE_FUNCTION, code.code_id, stmt.line)
+        self._emit_store_name(ctx, stmt.name, stmt.line)
+
+    def _compile_try(self, ctx: _Ctx, stmt: F.TryStmt) -> None:
+        line = stmt.line
+        setup = ctx.emit(Op.SETUP_EXCEPT, 0, line)
+        self._compile_block(ctx, stmt.body)
+        ctx.emit(Op.POP_BLOCK, 0, line)
+        jump_end = ctx.emit(Op.JUMP, 0, line)
+        handler_start = ctx.here()
+        ctx.patch(setup, handler_start)
+        end_fixups = [jump_end]
+        # Handler entry: the exception object is on the stack.
+        for clause in stmt.handlers:
+            next_fixup = None
+            if clause.exc_name is not None:
+                exc_id = self._exception_id(clause.exc_name)
+                ctx.emit(Op.DUP, 0, clause.line)
+                ctx.emit(Op.LOAD_EXCTYPE, exc_id, clause.line)
+                ctx.emit(Op.EXC_MATCH, 0, clause.line)
+                next_fixup = ctx.emit(Op.POP_JUMP_IF_FALSE, 0, clause.line)
+            if clause.alias is not None:
+                self._emit_store_name(ctx, clause.alias, clause.line)
+            else:
+                ctx.emit(Op.POP, 0, clause.line)
+            self._compile_block(ctx, clause.body)
+            end_fixups.append(ctx.emit(Op.JUMP, 0, clause.line))
+            if next_fixup is not None:
+                ctx.patch(next_fixup, ctx.here())
+        # No clause matched: re-raise (exception object still on the stack).
+        ctx.emit(Op.RAISE, 0, line)
+        end = ctx.here()
+        for fixup in end_fixups:
+            ctx.patch(fixup, end)
+
+    # -- expressions -------------------------------------------------------------------
+
+    def _emit_store_name(self, ctx: _Ctx, name: str, line: int) -> None:
+        if ctx.locals is not None and name in ctx.locals:
+            ctx.emit(Op.STORE_LOCAL, ctx.locals[name], line)
+        else:
+            ctx.emit(Op.STORE_GLOBAL, self._global_slot(name), line)
+
+    def _compile_name_load(self, ctx: _Ctx, name: str, line: int) -> None:
+        if ctx.locals is not None and name in ctx.locals:
+            ctx.emit(Op.LOAD_LOCAL, ctx.locals[name], line)
+        else:
+            ctx.emit(Op.LOAD_GLOBAL, self._global_slot(name), line)
+
+    def _compile_expr(self, ctx: _Ctx, expr: F.Node) -> None:
+        line = expr.line
+        if isinstance(expr, F.NumLit):
+            ctx.emit(Op.LOAD_CONST, ctx.const(expr.value), line)
+            return
+        if isinstance(expr, F.StrLit):
+            ctx.emit(Op.LOAD_CONST, ctx.const(expr.value), line)
+            return
+        if isinstance(expr, F.BoolLit):
+            ctx.emit(Op.LOAD_CONST, ctx.const(expr.value), line)
+            return
+        if isinstance(expr, F.NoneLit):
+            ctx.emit(Op.LOAD_CONST, ctx.const(None), line)
+            return
+        if isinstance(expr, F.NameExpr):
+            self._compile_name_load(ctx, expr.ident, line)
+            return
+        if isinstance(expr, F.ListExpr):
+            for item in expr.items:
+                self._compile_expr(ctx, item)
+            ctx.emit(Op.BUILD_LIST, len(expr.items), line)
+            return
+        if isinstance(expr, F.DictExpr):
+            for key, value in zip(expr.keys, expr.values):
+                self._compile_expr(ctx, key)
+                self._compile_expr(ctx, value)
+            ctx.emit(Op.BUILD_DICT, len(expr.keys), line)
+            return
+        if isinstance(expr, F.BinExprN):
+            self._compile_expr(ctx, expr.left)
+            self._compile_expr(ctx, expr.right)
+            ctx.emit(Op.BINARY, _BINOP_IDS[expr.op], line)
+            return
+        if isinstance(expr, F.BoolExprN):
+            # Boolean-valued short-circuit (documented deviation: the result
+            # is always True/False, not the last operand).
+            self._compile_expr(ctx, expr.left)
+            if expr.op == "and":
+                jump_short = ctx.emit(Op.POP_JUMP_IF_FALSE, 0, line)
+                self._compile_expr(ctx, expr.right)
+                jump_short2 = ctx.emit(Op.POP_JUMP_IF_FALSE, 0, line)
+                ctx.emit(Op.LOAD_CONST, ctx.const(True), line)
+                jump_end = ctx.emit(Op.JUMP, 0, line)
+                ctx.patch(jump_short, ctx.here())
+                ctx.patch(jump_short2, ctx.here())
+                ctx.emit(Op.LOAD_CONST, ctx.const(False), line)
+                ctx.patch(jump_end, ctx.here())
+            else:
+                jump_short = ctx.emit(Op.POP_JUMP_IF_TRUE, 0, line)
+                self._compile_expr(ctx, expr.right)
+                jump_short2 = ctx.emit(Op.POP_JUMP_IF_TRUE, 0, line)
+                ctx.emit(Op.LOAD_CONST, ctx.const(False), line)
+                jump_end = ctx.emit(Op.JUMP, 0, line)
+                ctx.patch(jump_short, ctx.here())
+                ctx.patch(jump_short2, ctx.here())
+                ctx.emit(Op.LOAD_CONST, ctx.const(True), line)
+                ctx.patch(jump_end, ctx.here())
+            return
+        if isinstance(expr, F.UnaryExprN):
+            self._compile_expr(ctx, expr.operand)
+            ctx.emit(Op.UNARY, UnOp.NEG if expr.op == "-" else UnOp.NOT, line)
+            return
+        if isinstance(expr, F.CallExpr):
+            func = expr.func
+            if isinstance(func, F.NameExpr) and func.ident in self.exception_ids and (
+                ctx.locals is None or func.ident not in ctx.locals
+            ) and func.ident not in self.global_names:
+                # Calling an exception type builds an instance.
+                ctx.emit(Op.LOAD_EXCTYPE, self.exception_ids[func.ident], line)
+            else:
+                self._compile_expr(ctx, func)
+            for arg in expr.args:
+                self._compile_expr(ctx, arg)
+            ctx.emit(Op.CALL_FUNCTION, len(expr.args), line)
+            return
+        if isinstance(expr, F.MethodCall):
+            method_id = METHODS.get(expr.method)
+            if method_id is None:
+                raise MiniLangCompileError(
+                    f"line {line}: unsupported method {expr.method!r}"
+                )
+            self._compile_expr(ctx, expr.obj)
+            ctx.emit(Op.LOAD_METHOD, method_id, line)
+            for arg in expr.args:
+                self._compile_expr(ctx, arg)
+            ctx.emit(Op.CALL_METHOD, len(expr.args), line)
+            return
+        if isinstance(expr, F.SubscriptExpr):
+            self._compile_expr(ctx, expr.obj)
+            self._compile_expr(ctx, expr.index)
+            ctx.emit(Op.BINARY_SUBSCR, 0, line)
+            return
+        if isinstance(expr, F.SliceExpr):
+            self._compile_expr(ctx, expr.obj)
+            mask = 0
+            if expr.lo is not None:
+                self._compile_expr(ctx, expr.lo)
+                mask |= 1
+            if expr.hi is not None:
+                self._compile_expr(ctx, expr.hi)
+                mask |= 2
+            ctx.emit(Op.SLICE, mask, line)
+            return
+        raise MiniLangCompileError(f"unsupported expression {expr!r}")
+
+
+def compile_source(source: str) -> CompiledModule:
+    """Compile a MiniPy module (library sources + test driver)."""
+    return Compiler().compile(source)

@@ -1,0 +1,113 @@
+"""MiniPy engine facade: source → symbolic execution → replayable tests.
+
+Usage::
+
+    engine = MiniPyEngine(source, ChefConfig(strategy="cupa-path"))
+    result = engine.run()
+    for case in result.hl_test_cases:
+        replayed = engine.replay(case)
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.chef.engine import Chef, RunResult
+from repro.chef.options import ChefConfig
+from repro.chef.testcase import TestCase, TestSuite
+from repro.clay import compile_program
+from repro.clay.codegen import CompiledClay
+from repro.interpreters.minipy.bytecode import CompiledModule
+from repro.interpreters.minipy.compiler import compile_source
+from repro.interpreters.minipy.hostvm import HostRunResult, HostVM
+from repro.interpreters.minipy.image import build_image
+from repro.lowlevel.program import Program
+
+_CLAY_DIR = pathlib.Path(__file__).resolve().parent.parent / "clay_src"
+
+#: concatenation order of the interpreter's Clay translation units.
+MINIPY_CLAY_FILES = (
+    "rt_core.clay",
+    "rt_string.clay",
+    "rt_list.clay",
+    "rt_dict.clay",
+    "minipy_interp.clay",
+)
+
+_interp_cache: Dict[Tuple[str, ...], CompiledClay] = {}
+
+
+def clay_source(files=MINIPY_CLAY_FILES) -> str:
+    """Concatenated Clay source of the interpreter (for effort counting)."""
+    return "\n".join((_CLAY_DIR / name).read_text() for name in files)
+
+
+def compiled_interpreter(files=MINIPY_CLAY_FILES) -> CompiledClay:
+    """Compile (and cache) the Clay interpreter."""
+    key = tuple(files)
+    cached = _interp_cache.get(key)
+    if cached is None:
+        cached = compile_program(clay_source(files))
+        _interp_cache[key] = cached
+    return cached
+
+
+class MiniPyEngine:
+    """A Chef-generated symbolic execution engine for MiniPy."""
+
+    def __init__(self, source: str, config: Optional[ChefConfig] = None):
+        self.source = source
+        self.config = config if config is not None else ChefConfig()
+        self.module: CompiledModule = compile_source(source)
+        self._clay = compiled_interpreter()
+
+    # -- build ---------------------------------------------------------------
+
+    def build_program(self) -> Program:
+        """Fresh LIR program: interpreter + program image + build flags."""
+        program = Program(entry="main")
+        for name in self._clay.program.functions:
+            program.add_function(self._clay.program.functions[name])
+        program.static_data = dict(self._clay.program.static_data)
+        program.data_end = self._clay.program.data_end
+        program.static_data.update(build_image(self.module))
+        flags = self.config.interpreter_options.as_flag_words()
+        for name, value in flags.items():
+            program.static_data[self._clay.symbols[name]] = value
+        program.finalize()
+        return program
+
+    # -- symbolic execution ------------------------------------------------------
+
+    def make_chef(self) -> Chef:
+        return Chef(self.build_program(), self.config)
+
+    def run(self) -> RunResult:
+        return self.make_chef().run()
+
+    # -- replay & coverage ----------------------------------------------------------
+
+    @staticmethod
+    def ordered_inputs(case: TestCase) -> List[List[int]]:
+        """Symbolic buffers in creation order (b0, b1, ...)."""
+        keys = sorted(case.inputs, key=lambda k: int(k[1:]))
+        return [case.inputs[k] for k in keys]
+
+    def replay(self, case: TestCase) -> HostRunResult:
+        """Re-execute a generated test in the vanilla host VM (§6.1)."""
+        vm = HostVM(self.module, symbolic_inputs=self.ordered_inputs(case))
+        return vm.run()
+
+    def coverage(self, suite: TestSuite, replay_all: bool = False) -> Tuple[Set[int], int]:
+        """Replay tests and report (covered lines, coverable line count)."""
+        covered: Set[int] = set()
+        cases = suite.cases if replay_all else suite.high_level_tests()
+        for case in cases:
+            result = self.replay(case)
+            covered |= result.covered_lines
+        coverable = set(self.module.coverable_lines)
+        return covered & coverable, len(coverable)
+
+    def exception_name(self, type_id: int) -> str:
+        return self.module.exception_name(type_id)

@@ -1,0 +1,673 @@
+"""MiniPy lexer and parser (indentation-based, Python-subset grammar)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, NamedTuple, Optional
+
+from repro.errors import MiniLangSyntaxError
+
+KEYWORDS = {
+    "def", "if", "elif", "else", "while", "for", "in", "break", "continue",
+    "return", "raise", "try", "except", "as", "pass", "and", "or", "not",
+    "True", "False", "None", "assert", "del",
+}
+
+_OPS = [
+    "**", "//", "==", "!=", "<=", ">=", "+=", "-=", "*=",
+    "+", "-", "*", "%", "<", ">", "=", "(", ")", "[", "]",
+    "{", "}", ",", ":", ".",
+]
+
+_STR_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+    "'": "'", '"': '"',
+}
+
+
+class Tok(NamedTuple):
+    kind: str   # name, kw, num, str, op, newline, indent, dedent, eof
+    value: object
+    line: int
+
+
+def tokenize(source: str) -> List[Tok]:
+    """Lex MiniPy source, producing INDENT/DEDENT tokens."""
+    tokens: List[Tok] = []
+    indents = [0]
+    lines = source.split("\n")
+    paren_depth = 0
+    for line_no, raw in enumerate(lines, start=1):
+        stripped = raw.strip()
+        if paren_depth == 0:
+            if not stripped or stripped.startswith("#"):
+                continue
+            leading = raw[: len(raw) - len(raw.lstrip())]
+            if "\t" in leading:
+                raise MiniLangSyntaxError("tabs are not allowed in indentation", line_no)
+            indent = len(leading)
+            if indent > indents[-1]:
+                indents.append(indent)
+                tokens.append(Tok("indent", indent, line_no))
+            while indent < indents[-1]:
+                indents.pop()
+                tokens.append(Tok("dedent", indent, line_no))
+            if indent != indents[-1]:
+                raise MiniLangSyntaxError("inconsistent dedent", line_no)
+        i = 0
+        text = raw
+        n = len(text)
+        while i < n:
+            ch = text[i]
+            if ch in " \t":
+                i += 1
+                continue
+            if ch == "#":
+                break
+            if ch in "([{":
+                paren_depth += 1
+                tokens.append(Tok("op", ch, line_no))
+                i += 1
+                continue
+            if ch in ")]}":
+                paren_depth = max(paren_depth - 1, 0)
+                tokens.append(Tok("op", ch, line_no))
+                i += 1
+                continue
+            if ch.isdigit():
+                j = i
+                if text.startswith("0x", i) or text.startswith("0X", i):
+                    j = i + 2
+                    while j < n and text[j] in "0123456789abcdefABCDEF":
+                        j += 1
+                    tokens.append(Tok("num", int(text[i:j], 16), line_no))
+                else:
+                    while j < n and text[j].isdigit():
+                        j += 1
+                    tokens.append(Tok("num", int(text[i:j]), line_no))
+                i = j
+                continue
+            if ch in "'\"":
+                value, i = _lex_string(text, i, line_no)
+                tokens.append(Tok("str", value, line_no))
+                continue
+            if ch.isalpha() or ch == "_":
+                j = i
+                while j < n and (text[j].isalnum() or text[j] == "_"):
+                    j += 1
+                word = text[i:j]
+                tokens.append(Tok("kw" if word in KEYWORDS else "name", word, line_no))
+                i = j
+                continue
+            matched = None
+            for op in _OPS:
+                if text.startswith(op, i):
+                    matched = op
+                    break
+            if matched is None:
+                raise MiniLangSyntaxError(f"unexpected character {ch!r}", line_no)
+            tokens.append(Tok("op", matched, line_no))
+            i += len(matched)
+        if paren_depth == 0 and tokens and tokens[-1].kind not in ("newline", "indent", "dedent"):
+            tokens.append(Tok("newline", None, line_no))
+    last_line = len(lines)
+    while len(indents) > 1:
+        indents.pop()
+        tokens.append(Tok("dedent", indents[-1], last_line))
+    tokens.append(Tok("eof", None, last_line))
+    return tokens
+
+
+def _lex_string(text: str, start: int, line_no: int):
+    quote = text[start]
+    i = start + 1
+    chars: List[str] = []
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\\":
+            if i + 1 >= n:
+                raise MiniLangSyntaxError("unterminated string escape", line_no)
+            esc = text[i + 1]
+            if esc == "x":
+                if i + 3 >= n:
+                    raise MiniLangSyntaxError("bad \\x escape", line_no)
+                chars.append(chr(int(text[i + 2 : i + 4], 16)))
+                i += 4
+                continue
+            chars.append(_STR_ESCAPES.get(esc, esc))
+            i += 2
+            continue
+        if ch == quote:
+            return "".join(chars), i + 1
+        chars.append(ch)
+        i += 1
+    raise MiniLangSyntaxError("unterminated string literal", line_no)
+
+
+# -- AST ----------------------------------------------------------------------
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+@dataclass
+class NumLit(Node):
+    value: int = 0
+
+
+@dataclass
+class StrLit(Node):
+    value: str = ""
+
+
+@dataclass
+class BoolLit(Node):
+    value: bool = False
+
+
+@dataclass
+class NoneLit(Node):
+    pass
+
+
+@dataclass
+class NameExpr(Node):
+    ident: str = ""
+
+
+@dataclass
+class ListExpr(Node):
+    items: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class DictExpr(Node):
+    keys: List[Node] = field(default_factory=list)
+    values: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class BinExprN(Node):
+    op: str = ""
+    left: Optional[Node] = None
+    right: Optional[Node] = None
+
+
+@dataclass
+class BoolExprN(Node):
+    op: str = ""  # "and" | "or"
+    left: Optional[Node] = None
+    right: Optional[Node] = None
+
+
+@dataclass
+class UnaryExprN(Node):
+    op: str = ""  # "-" | "not"
+    operand: Optional[Node] = None
+
+
+@dataclass
+class CallExpr(Node):
+    func: Optional[Node] = None
+    args: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class MethodCall(Node):
+    obj: Optional[Node] = None
+    method: str = ""
+    args: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class SubscriptExpr(Node):
+    obj: Optional[Node] = None
+    index: Optional[Node] = None
+
+
+@dataclass
+class SliceExpr(Node):
+    obj: Optional[Node] = None
+    lo: Optional[Node] = None
+    hi: Optional[Node] = None
+
+
+@dataclass
+class AssignStmt(Node):
+    target: Optional[Node] = None  # NameExpr or SubscriptExpr
+    value: Optional[Node] = None
+
+
+@dataclass
+class AugAssignStmt(Node):
+    target: Optional[Node] = None  # NameExpr only
+    op: str = ""
+    value: Optional[Node] = None
+
+
+@dataclass
+class ExprStmtN(Node):
+    expr: Optional[Node] = None
+
+
+@dataclass
+class IfStmt(Node):
+    cond: Optional[Node] = None
+    body: List[Node] = field(default_factory=list)
+    orelse: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt(Node):
+    cond: Optional[Node] = None
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class ForStmt(Node):
+    var: str = ""
+    iterable: Optional[Node] = None
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class BreakStmt(Node):
+    pass
+
+
+@dataclass
+class ContinueStmt(Node):
+    pass
+
+
+@dataclass
+class PassStmt(Node):
+    pass
+
+
+@dataclass
+class ReturnStmt(Node):
+    value: Optional[Node] = None
+
+
+@dataclass
+class RaiseStmt(Node):
+    exc_name: str = ""
+    message: Optional[Node] = None
+
+
+@dataclass
+class AssertStmt(Node):
+    cond: Optional[Node] = None
+
+
+@dataclass
+class ExceptClause(Node):
+    exc_name: Optional[str] = None  # None = bare except
+    alias: Optional[str] = None
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class TryStmt(Node):
+    body: List[Node] = field(default_factory=list)
+    handlers: List[ExceptClause] = field(default_factory=list)
+
+
+@dataclass
+class FuncDef(Node):
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class ModuleNode(Node):
+    body: List[Node] = field(default_factory=list)
+
+
+# -- parser ----------------------------------------------------------------------
+
+_COMPARE_OPS = {"==", "!=", "<", "<=", ">", ">="}
+
+
+class Parser:
+    def __init__(self, tokens: List[Tok]):
+        self.tokens = tokens
+        self.pos = 0
+
+    @property
+    def cur(self) -> Tok:
+        return self.tokens[self.pos]
+
+    def error(self, message: str) -> MiniLangSyntaxError:
+        return MiniLangSyntaxError(f"{message} (got {self.cur.value!r})", self.cur.line)
+
+    def advance(self) -> Tok:
+        tok = self.cur
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check(self, kind: str, value=None) -> bool:
+        return self.cur.kind == kind and (value is None or self.cur.value == value)
+
+    def accept(self, kind: str, value=None) -> bool:
+        if self.check(kind, value):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, kind: str, value=None) -> Tok:
+        if not self.check(kind, value):
+            raise self.error(f"expected {value or kind!r}")
+        return self.advance()
+
+    # -- blocks ---------------------------------------------------------------
+
+    def parse_module(self) -> ModuleNode:
+        body: List[Node] = []
+        while not self.check("eof"):
+            body.append(self.parse_stmt())
+        return ModuleNode(line=1, body=body)
+
+    def parse_block(self) -> List[Node]:
+        self.expect("op", ":")
+        self.expect("newline")
+        self.expect("indent")
+        body: List[Node] = []
+        while not self.check("dedent") and not self.check("eof"):
+            body.append(self.parse_stmt())
+        self.accept("dedent")
+        return body
+
+    # -- statements ---------------------------------------------------------------
+
+    def parse_stmt(self) -> Node:
+        tok = self.cur
+        if self.check("kw", "def"):
+            return self.parse_def()
+        if self.check("kw", "if"):
+            return self.parse_if()
+        if self.check("kw", "while"):
+            self.advance()
+            cond = self.parse_expr()
+            body = self.parse_block()
+            return WhileStmt(line=tok.line, cond=cond, body=body)
+        if self.check("kw", "for"):
+            self.advance()
+            var = self.expect("name").value
+            self.expect("kw", "in")
+            iterable = self.parse_expr()
+            body = self.parse_block()
+            return ForStmt(line=tok.line, var=var, iterable=iterable, body=body)
+        if self.check("kw", "try"):
+            return self.parse_try()
+        simple = self.parse_simple_stmt()
+        self.expect("newline")
+        return simple
+
+    def parse_def(self) -> FuncDef:
+        tok = self.expect("kw", "def")
+        name = self.expect("name").value
+        self.expect("op", "(")
+        params: List[str] = []
+        if not self.check("op", ")"):
+            params.append(self.expect("name").value)
+            while self.accept("op", ","):
+                params.append(self.expect("name").value)
+        self.expect("op", ")")
+        body = self.parse_block()
+        return FuncDef(line=tok.line, name=name, params=params, body=body)
+
+    def parse_if(self) -> IfStmt:
+        tok = self.advance()  # 'if' or 'elif'
+        cond = self.parse_expr()
+        body = self.parse_block()
+        orelse: List[Node] = []
+        if self.check("kw", "elif"):
+            orelse = [self.parse_if()]
+        elif self.accept("kw", "else"):
+            orelse = self.parse_block()
+        return IfStmt(line=tok.line, cond=cond, body=body, orelse=orelse)
+
+    def parse_try(self) -> TryStmt:
+        tok = self.expect("kw", "try")
+        body = self.parse_block()
+        handlers: List[ExceptClause] = []
+        while self.check("kw", "except"):
+            etok = self.advance()
+            exc_name = None
+            alias = None
+            if self.check("name"):
+                exc_name = self.advance().value
+                if self.accept("kw", "as"):
+                    alias = self.expect("name").value
+            hbody = self.parse_block()
+            handlers.append(
+                ExceptClause(line=etok.line, exc_name=exc_name, alias=alias, body=hbody)
+            )
+        if not handlers:
+            raise MiniLangSyntaxError("try without except", tok.line)
+        return TryStmt(line=tok.line, body=body, handlers=handlers)
+
+    def parse_simple_stmt(self) -> Node:
+        tok = self.cur
+        if self.check("kw", "break"):
+            self.advance()
+            return BreakStmt(line=tok.line)
+        if self.check("kw", "continue"):
+            self.advance()
+            return ContinueStmt(line=tok.line)
+        if self.check("kw", "pass"):
+            self.advance()
+            return PassStmt(line=tok.line)
+        if self.check("kw", "return"):
+            self.advance()
+            value = None
+            if not self.check("newline"):
+                value = self.parse_expr()
+            return ReturnStmt(line=tok.line, value=value)
+        if self.check("kw", "raise"):
+            self.advance()
+            exc_name = self.expect("name").value
+            message = None
+            if self.accept("op", "("):
+                if not self.check("op", ")"):
+                    message = self.parse_expr()
+                self.expect("op", ")")
+            return RaiseStmt(line=tok.line, exc_name=exc_name, message=message)
+        if self.check("kw", "assert"):
+            self.advance()
+            cond = self.parse_expr()
+            if self.accept("op", ","):
+                self.parse_expr()  # message evaluated but ignored
+            return AssertStmt(line=tok.line, cond=cond)
+        expr = self.parse_expr()
+        if self.cur.kind == "op" and self.cur.value in ("+=", "-=", "*="):
+            op_tok = self.advance()
+            if not isinstance(expr, NameExpr):
+                raise MiniLangSyntaxError(
+                    "augmented assignment target must be a name", tok.line
+                )
+            value = self.parse_expr()
+            return AugAssignStmt(
+                line=tok.line, target=expr, op=op_tok.value[0], value=value
+            )
+        if self.accept("op", "="):
+            if not isinstance(expr, (NameExpr, SubscriptExpr)):
+                raise MiniLangSyntaxError("invalid assignment target", tok.line)
+            value = self.parse_expr()
+            return AssignStmt(line=tok.line, target=expr, value=value)
+        return ExprStmtN(line=tok.line, expr=expr)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def parse_expr(self) -> Node:
+        return self.parse_or()
+
+    def parse_or(self) -> Node:
+        left = self.parse_and()
+        while self.check("kw", "or"):
+            tok = self.advance()
+            right = self.parse_and()
+            left = BoolExprN(line=tok.line, op="or", left=left, right=right)
+        return left
+
+    def parse_and(self) -> Node:
+        left = self.parse_not()
+        while self.check("kw", "and"):
+            tok = self.advance()
+            right = self.parse_not()
+            left = BoolExprN(line=tok.line, op="and", left=left, right=right)
+        return left
+
+    def parse_not(self) -> Node:
+        if self.check("kw", "not"):
+            tok = self.advance()
+            return UnaryExprN(line=tok.line, op="not", operand=self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Node:
+        left = self.parse_additive()
+        while True:
+            if self.cur.kind == "op" and self.cur.value in _COMPARE_OPS:
+                tok = self.advance()
+                right = self.parse_additive()
+                left = BinExprN(line=tok.line, op=tok.value, left=left, right=right)
+            elif self.check("kw", "in"):
+                tok = self.advance()
+                right = self.parse_additive()
+                left = BinExprN(line=tok.line, op="in", left=left, right=right)
+            elif self.check("kw", "not"):
+                # "not in"
+                tok = self.advance()
+                self.expect("kw", "in")
+                right = self.parse_additive()
+                left = BinExprN(line=tok.line, op="not in", left=left, right=right)
+            else:
+                return left
+
+    def parse_additive(self) -> Node:
+        left = self.parse_multiplicative()
+        while self.cur.kind == "op" and self.cur.value in ("+", "-"):
+            tok = self.advance()
+            right = self.parse_multiplicative()
+            left = BinExprN(line=tok.line, op=tok.value, left=left, right=right)
+        return left
+
+    def parse_multiplicative(self) -> Node:
+        left = self.parse_unary()
+        while self.cur.kind == "op" and self.cur.value in ("*", "//", "%"):
+            tok = self.advance()
+            right = self.parse_unary()
+            left = BinExprN(line=tok.line, op=tok.value, left=left, right=right)
+        return left
+
+    def parse_unary(self) -> Node:
+        if self.check("op", "-"):
+            tok = self.advance()
+            return UnaryExprN(line=tok.line, op="-", operand=self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Node:
+        expr = self.parse_atom()
+        while True:
+            if self.check("op", "("):
+                tok = self.advance()
+                args = self.parse_args()
+                expr = CallExpr(line=tok.line, func=expr, args=args)
+            elif self.check("op", "."):
+                tok = self.advance()
+                method = self.expect("name").value
+                self.expect("op", "(")
+                args = self.parse_args()
+                expr = MethodCall(line=tok.line, obj=expr, method=method, args=args)
+            elif self.check("op", "["):
+                tok = self.advance()
+                expr = self.parse_subscript_or_slice(expr, tok)
+            else:
+                return expr
+
+    def parse_args(self) -> List[Node]:
+        args: List[Node] = []
+        if not self.check("op", ")"):
+            args.append(self.parse_expr())
+            while self.accept("op", ","):
+                args.append(self.parse_expr())
+        self.expect("op", ")")
+        return args
+
+    def parse_subscript_or_slice(self, obj: Node, tok: Tok) -> Node:
+        lo = None
+        hi = None
+        if not self.check("op", ":"):
+            lo = self.parse_expr()
+        if self.accept("op", ":"):
+            if not self.check("op", "]"):
+                hi = self.parse_expr()
+            self.expect("op", "]")
+            return SliceExpr(line=tok.line, obj=obj, lo=lo, hi=hi)
+        self.expect("op", "]")
+        return SubscriptExpr(line=tok.line, obj=obj, index=lo)
+
+    def parse_atom(self) -> Node:
+        tok = self.cur
+        if tok.kind == "num":
+            self.advance()
+            return NumLit(line=tok.line, value=tok.value)
+        if tok.kind == "str":
+            self.advance()
+            value = tok.value
+            # adjacent string literal concatenation
+            while self.cur.kind == "str":
+                value += self.advance().value
+            return StrLit(line=tok.line, value=value)
+        if self.check("kw", "True"):
+            self.advance()
+            return BoolLit(line=tok.line, value=True)
+        if self.check("kw", "False"):
+            self.advance()
+            return BoolLit(line=tok.line, value=False)
+        if self.check("kw", "None"):
+            self.advance()
+            return NoneLit(line=tok.line)
+        if tok.kind == "name":
+            self.advance()
+            return NameExpr(line=tok.line, ident=tok.value)
+        if self.accept("op", "("):
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        if self.accept("op", "["):
+            items: List[Node] = []
+            if not self.check("op", "]"):
+                items.append(self.parse_expr())
+                while self.accept("op", ","):
+                    if self.check("op", "]"):
+                        break
+                    items.append(self.parse_expr())
+            self.expect("op", "]")
+            return ListExpr(line=tok.line, items=items)
+        if self.accept("op", "{"):
+            keys: List[Node] = []
+            values: List[Node] = []
+            if not self.check("op", "}"):
+                keys.append(self.parse_expr())
+                self.expect("op", ":")
+                values.append(self.parse_expr())
+                while self.accept("op", ","):
+                    if self.check("op", "}"):
+                        break
+                    keys.append(self.parse_expr())
+                    self.expect("op", ":")
+                    values.append(self.parse_expr())
+            self.expect("op", "}")
+            return DictExpr(line=tok.line, keys=keys, values=values)
+        raise self.error("expected expression")
+
+
+def parse_source(source: str) -> ModuleNode:
+    return Parser(tokenize(source)).parse_module()

@@ -1,0 +1,113 @@
+"""Program-image builder: serialises compiled MiniPy bytecode into the
+word memory the Clay interpreter reads at IMAGE_BASE.
+
+Layout (all word-addressed; must match minipy_interp.clay):
+
+    header  [n_codes, code_table_ptr, n_globals, init_table_ptr,
+             n_inits, main_code_index]
+    code    [code_id, argcount, nlocals, n_instrs, instrs_ptr,
+             nconsts, consts_ptr]
+    consts  runtime value layouts (int/bool/none/str), shared by identity
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import InterpreterError
+from repro.interpreters.minipy.bytecode import CodeObject, CompiledModule
+
+#: must equal IMAGE_BASE in rt_core.clay.
+IMAGE_BASE = 1048576
+
+_HEADER_WORDS = 16
+
+
+class ImageBuilder:
+    """Sequential word allocator over the image region."""
+
+    def __init__(self, base: int = IMAGE_BASE):
+        self.base = base
+        self.words: Dict[int, int] = {}
+        self.cursor = base + _HEADER_WORDS
+        self._const_cache: Dict[Tuple, int] = {}
+
+    def emit(self, values: List[int]) -> int:
+        addr = self.cursor
+        for offset, value in enumerate(values):
+            self.words[addr + offset] = value
+        self.cursor += len(values)
+        return addr
+
+    def encode_const(self, value) -> int:
+        key: Tuple
+        if isinstance(value, bool):
+            key = ("bool", value)
+            encoded = [2, int(value)]
+        elif isinstance(value, int):
+            key = ("int", value)
+            encoded = [1, value]
+        elif value is None:
+            key = ("none",)
+            encoded = [3]
+        elif isinstance(value, str):
+            key = ("str", value)
+            encoded = [4, len(value)] + [ord(c) for c in value]
+        else:
+            raise InterpreterError(f"unsupported constant {value!r}")
+        cached = self._const_cache.get(key)
+        if cached is not None:
+            return cached
+        addr = self.emit(encoded)
+        self._const_cache[key] = addr
+        return addr
+
+    def encode_code(self, code: CodeObject) -> int:
+        instr_words: List[int] = []
+        for op, arg in code.instrs:
+            instr_words.append(op)
+            instr_words.append(arg)
+        instrs_ptr = self.emit(instr_words)
+        const_ptrs = [self.encode_const(c) for c in code.consts]
+        consts_ptr = self.emit(const_ptrs or [0])
+        return self.emit(
+            [
+                code.code_id,
+                code.argcount,
+                code.nlocals,
+                len(code.instrs),
+                instrs_ptr,
+                len(code.consts),
+                consts_ptr,
+            ]
+        )
+
+
+def build_image(module: CompiledModule, base: int = IMAGE_BASE) -> Dict[int, int]:
+    """Serialise ``module`` into a word map ready to merge into static data."""
+    builder = ImageBuilder(base)
+    code_ptrs = [builder.encode_code(code) for code in module.codes]
+    code_table_ptr = builder.emit(code_ptrs)
+
+    init_entries: List[int] = []
+    for slot, (kind, value) in sorted(module.global_inits.items()):
+        if kind == "builtin":
+            value_ptr = builder.emit([8, value])
+        elif kind == "exctype":
+            value_ptr = builder.emit([9, value])
+        else:
+            raise InterpreterError(f"unknown global init kind {kind!r}")
+        init_entries.extend([slot, value_ptr])
+    init_table_ptr = builder.emit(init_entries or [0])
+
+    header = [
+        len(module.codes),
+        code_table_ptr,
+        max(len(module.global_names), 1),
+        init_table_ptr,
+        len(module.global_inits),
+        module.main_code,
+    ]
+    for offset, value in enumerate(header):
+        builder.words[base + offset] = value
+    return builder.words

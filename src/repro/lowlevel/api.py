@@ -1,0 +1,56 @@
+"""The Chef guest API (Table 1 of the paper).
+
+Interpreters running on the LVM call these as ``HYPER`` instructions.  The
+set mirrors the paper exactly, with two reproduction-specific additions
+(``out`` for observable output, ``event`` for high-level events such as
+uncaught interpreter exceptions, used by the test library).
+"""
+
+from __future__ import annotations
+
+#: log_pc(pc, opcode) — declare the current high-level program location.
+LOG_PC = "log_pc"
+#: start_symbolic() — begin the symbolic phase of a test.
+START_SYMBOLIC = "start_symbolic"
+#: end_symbolic() — terminate the symbolic state (test case boundary).
+END_SYMBOLIC = "end_symbolic"
+#: make_symbolic(addr, len, lo, hi) — mark a guest buffer symbolic.
+MAKE_SYMBOLIC = "make_symbolic"
+#: concretize(value) -> int — pin a value to its concrete interpretation.
+CONCRETIZE = "concretize"
+#: upper_bound(value) -> int — max value on the current path (Fig. 6).
+UPPER_BOUND = "upper_bound"
+#: is_symbolic(value) -> 0/1.
+IS_SYMBOLIC = "is_symbolic"
+#: assume(expr) — constrain the current path.
+ASSUME = "assume"
+
+# Reproduction-specific extensions -----------------------------------------
+#: out(value) — append a concretised word to the observable output.
+OUT = "out"
+#: event(kind, a, b) — report a high-level event (uncaught exception, ...).
+EVENT = "event"
+#: abort(code) — unrecoverable guest fault (interpreter crash).
+ABORT = "abort"
+#: trace(value) — debugging aid; concretises and records the value.
+TRACE = "trace"
+
+#: The calls the paper's Table 1 lists, in order.
+TABLE1_CALLS = (
+    LOG_PC,
+    START_SYMBOLIC,
+    END_SYMBOLIC,
+    MAKE_SYMBOLIC,
+    CONCRETIZE,
+    UPPER_BOUND,
+    IS_SYMBOLIC,
+    ASSUME,
+)
+
+#: All hypercalls the executor accepts.
+ALL_CALLS = TABLE1_CALLS + (OUT, EVENT, ABORT, TRACE)
+
+#: Event kinds carried by the EVENT hypercall.
+EVENT_UNCAUGHT_EXCEPTION = 1
+EVENT_TEST_ARRIVED = 2
+EVENT_CUSTOM = 3

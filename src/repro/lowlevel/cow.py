@@ -1,0 +1,118 @@
+"""Copy-on-write mapping used for forked machine state.
+
+Forking a symbolic execution state must be cheap: the paper's engine forks
+at every symbolic low-level branch, and interpreters branch constantly.
+:class:`CowMap` is a layered dictionary: a fork shares the frozen parent
+layers and writes go to a private top layer.  Layers are compacted when
+the chain grows too deep, bounding lookup cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+_TOMBSTONE = object()
+
+#: Compact the layer chain when it exceeds this depth.
+_MAX_DEPTH = 12
+
+
+class CowMap:
+    """A mapping with O(1) logical copy.
+
+    Only the operations the machine needs are implemented: get/set/delete,
+    containment, iteration and length.  Keys and values are arbitrary.
+    """
+
+    __slots__ = ("_layers", "_top", "_size")
+
+    def __init__(self, initial: Optional[Dict] = None):
+        self._layers = []  # frozen ancestor dicts, oldest first
+        self._top: Dict = dict(initial) if initial else {}
+        self._size: Optional[int] = len(self._top)
+
+    def fork(self) -> "CowMap":
+        """Return a logical copy sharing all current data."""
+        child = CowMap.__new__(CowMap)
+        if self._top:
+            self._layers = self._layers + [self._top]
+            self._top = {}
+        child._layers = list(self._layers)
+        child._top = {}
+        child._size = self._size
+        if len(self._layers) > _MAX_DEPTH:
+            self._compact()
+            child._compact()
+        return child
+
+    def _compact(self) -> None:
+        flat: Dict = {}
+        for layer in self._layers:
+            flat.update(layer)
+        flat.update(self._top)
+        for key in [k for k, v in flat.items() if v is _TOMBSTONE]:
+            del flat[key]
+        self._layers = [flat]
+        self._top = {}
+        self._size = len(flat)
+
+    def get(self, key, default=None):
+        top = self._top
+        if key in top:
+            value = top[key]
+            return default if value is _TOMBSTONE else value
+        for layer in reversed(self._layers):
+            if key in layer:
+                value = layer[key]
+                return default if value is _TOMBSTONE else value
+        return default
+
+    def __getitem__(self, key):
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            raise KeyError(key)
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        self._top[key] = value
+        self._size = None
+
+    def __delitem__(self, key) -> None:
+        if key not in self:
+            raise KeyError(key)
+        self._top[key] = _TOMBSTONE
+        self._size = None
+
+    def __contains__(self, key) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def keys(self) -> Iterator:
+        seen = set()
+        for layer in [self._top] + list(reversed(self._layers)):
+            for key, value in layer.items():
+                if key in seen:
+                    continue
+                seen.add(key)
+                if value is not _TOMBSTONE:
+                    yield key
+
+    def items(self) -> Iterator:
+        for key in self.keys():
+            yield key, self[key]
+
+    def __iter__(self) -> Iterator:
+        return self.keys()
+
+    def __len__(self) -> int:
+        if self._size is None:
+            self._size = sum(1 for _ in self.keys())
+        return self._size
+
+    def to_dict(self) -> Dict:
+        """Materialise the full mapping (tests and debugging)."""
+        return dict(self.items())
+
+    def __repr__(self) -> str:
+        return f"CowMap({len(self)} entries, {len(self._layers)} layers)"

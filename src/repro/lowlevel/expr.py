@@ -1,0 +1,446 @@
+"""Symbolic expression DAG over unbounded integers.
+
+Machine values are either plain Python ``int`` (concrete) or :class:`Expr`
+nodes (symbolic).  Expressions are *interned*: structurally identical nodes
+are the same object, which makes structural equality an ``is`` check and
+lets downstream caches key on ``id()``.
+
+Booleans are represented as the integers 0 and 1, as in machine code.
+Comparison operators therefore produce 0/1-valued expressions, and branch
+conditions are "expression != 0".
+
+The factory functions :func:`mk_binop` / :func:`mk_unop` perform light
+canonicalisation (constant folding, identities) at construction time; the
+heavier rewrites live in :mod:`repro.lowlevel.simplify`.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, FrozenSet, Iterable, Optional, Union
+
+# Deeply nested expressions arise from loops over symbolic buffers (hash
+# functions, string scans).  Recursive traversals need headroom.
+if sys.getrecursionlimit() < 100_000:
+    sys.setrecursionlimit(100_000)
+
+Value = Union[int, "Expr"]
+
+#: Binary operators.  Comparison operators evaluate to 0/1.
+BINOPS = {
+    "add", "sub", "mul", "div", "mod",
+    "and", "or", "xor", "shl", "shr",
+    "eq", "ne", "lt", "le", "gt", "ge",
+    "land", "lor",
+}
+
+#: Unary operators.  ``lnot`` evaluates to 0/1.
+UNOPS = {"neg", "bnot", "lnot"}
+
+_CMP_NEGATION = {
+    "eq": "ne", "ne": "eq",
+    "lt": "ge", "ge": "lt",
+    "gt": "le", "le": "gt",
+}
+
+_CMP_SWAP = {"eq": "eq", "ne": "ne", "lt": "gt", "gt": "lt", "le": "ge", "ge": "le"}
+
+COMPARISONS = frozenset(_CMP_NEGATION)
+
+_COMMUTATIVE = frozenset({"add", "mul", "and", "or", "xor", "eq", "ne", "land", "lor"})
+
+
+class Expr:
+    """Base class of interned symbolic expression nodes."""
+
+    __slots__ = ("_free", "__weakref__")
+
+    def free_vars(self) -> FrozenSet["Sym"]:
+        raise NotImplementedError
+
+    def evaluate(self, env: Dict[str, int], memo: Optional[dict] = None) -> int:
+        """Evaluate under a complete assignment ``env`` (name -> int)."""
+        raise NotImplementedError
+
+    def depth(self) -> int:
+        raise NotImplementedError
+
+    # Interned nodes: identity is structural equality.
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - trivial
+        return self is other
+
+    def __hash__(self) -> int:  # pragma: no cover - trivial
+        return id(self)
+
+
+class Sym(Expr):
+    """A symbolic input variable with an inclusive finite domain.
+
+    Variables are created by ``make_symbolic`` guest calls; the domain is
+    what makes the CSP solver's search finite (bytes default to 0..255).
+    """
+
+    __slots__ = ("name", "lo", "hi")
+
+    _registry: Dict[str, "Sym"] = {}
+
+    def __new__(cls, name: str, lo: int = 0, hi: int = 255):
+        existing = cls._registry.get(name)
+        if existing is not None:
+            if (existing.lo, existing.hi) != (lo, hi):
+                raise ValueError(
+                    f"symbolic variable {name!r} re-declared with a different "
+                    f"domain ({existing.lo},{existing.hi}) vs ({lo},{hi})"
+                )
+            return existing
+        self = object.__new__(cls)
+        self.name = name
+        self.lo = lo
+        self.hi = hi
+        cls._registry[name] = self
+        return self
+
+    @classmethod
+    def reset_registry(cls) -> None:
+        """Forget all variables (used between independent engine runs)."""
+        cls._registry.clear()
+
+    def free_vars(self) -> FrozenSet["Sym"]:
+        return frozenset((self,))
+
+    def evaluate(self, env: Dict[str, int], memo: Optional[dict] = None) -> int:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise KeyError(f"no value for symbolic variable {self.name!r}") from None
+
+    def depth(self) -> int:
+        return 1
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class BinExpr(Expr):
+    """Binary operation node; operands are ``int`` or interned ``Expr``."""
+
+    __slots__ = ("op", "a", "b")
+
+    def free_vars(self) -> FrozenSet[Sym]:
+        free = getattr(self, "_free", None)
+        if free is None:
+            free = _operand_free(self.a) | _operand_free(self.b)
+            self._free = free
+        return free
+
+    def evaluate(self, env: Dict[str, int], memo: Optional[dict] = None) -> int:
+        if memo is None:
+            memo = {}
+        return _eval(self, env, memo)
+
+    def depth(self) -> int:
+        return 1 + max(_operand_depth(self.a), _operand_depth(self.b))
+
+    def __repr__(self) -> str:
+        return f"({self.a!r} {self.op} {self.b!r})"
+
+
+class UnExpr(Expr):
+    """Unary operation node."""
+
+    __slots__ = ("op", "a")
+
+    def free_vars(self) -> FrozenSet[Sym]:
+        free = getattr(self, "_free", None)
+        if free is None:
+            free = _operand_free(self.a)
+            self._free = free
+        return free
+
+    def evaluate(self, env: Dict[str, int], memo: Optional[dict] = None) -> int:
+        if memo is None:
+            memo = {}
+        return _eval(self, env, memo)
+
+    def depth(self) -> int:
+        return 1 + _operand_depth(self.a)
+
+    def __repr__(self) -> str:
+        return f"{self.op}({self.a!r})"
+
+
+def _operand_free(v: Value) -> FrozenSet[Sym]:
+    return v.free_vars() if isinstance(v, Expr) else frozenset()
+
+
+def _operand_depth(v: Value) -> int:
+    return v.depth() if isinstance(v, Expr) else 0
+
+
+def is_symbolic(v: Value) -> bool:
+    """True if ``v`` is a symbolic expression rather than a concrete int."""
+    return isinstance(v, Expr)
+
+
+# ---------------------------------------------------------------------------
+# Concrete evaluation
+# ---------------------------------------------------------------------------
+
+def _apply_binop(op: str, a: int, b: int) -> int:
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "div":
+        if b == 0:
+            raise ZeroDivisionError("guest division by zero")
+        return a // b
+    if op == "mod":
+        if b == 0:
+            raise ZeroDivisionError("guest modulo by zero")
+        return a % b
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "shl":
+        return a << b
+    if op == "shr":
+        return a >> b
+    if op == "eq":
+        return int(a == b)
+    if op == "ne":
+        return int(a != b)
+    if op == "lt":
+        return int(a < b)
+    if op == "le":
+        return int(a <= b)
+    if op == "gt":
+        return int(a > b)
+    if op == "ge":
+        return int(a >= b)
+    if op == "land":
+        return int(bool(a) and bool(b))
+    if op == "lor":
+        return int(bool(a) or bool(b))
+    raise ValueError(f"unknown binary operator {op!r}")
+
+
+def _apply_unop(op: str, a: int) -> int:
+    if op == "neg":
+        return -a
+    if op == "bnot":
+        return ~a
+    if op == "lnot":
+        return int(a == 0)
+    raise ValueError(f"unknown unary operator {op!r}")
+
+
+def _eval(expr: Value, env: Dict[str, int], memo: dict) -> int:
+    """Iterative post-order evaluation (avoids deep recursion)."""
+    if not isinstance(expr, Expr):
+        return expr
+    key = id(expr)
+    hit = memo.get(key)
+    if hit is not None:
+        return hit
+    stack = [expr]
+    while stack:
+        node = stack[-1]
+        nid = id(node)
+        if nid in memo:
+            stack.pop()
+            continue
+        if isinstance(node, Sym):
+            memo[nid] = node.evaluate(env)
+            stack.pop()
+        elif isinstance(node, UnExpr):
+            a = node.a
+            if isinstance(a, Expr) and id(a) not in memo:
+                stack.append(a)
+                continue
+            av = memo[id(a)] if isinstance(a, Expr) else a
+            memo[nid] = _apply_unop(node.op, av)
+            stack.pop()
+        else:
+            assert isinstance(node, BinExpr)
+            a, b = node.a, node.b
+            pushed = False
+            if isinstance(a, Expr) and id(a) not in memo:
+                stack.append(a)
+                pushed = True
+            if isinstance(b, Expr) and id(b) not in memo:
+                stack.append(b)
+                pushed = True
+            if pushed:
+                continue
+            av = memo[id(a)] if isinstance(a, Expr) else a
+            bv = memo[id(b)] if isinstance(b, Expr) else b
+            memo[nid] = _apply_binop(node.op, av, bv)
+            stack.pop()
+    return memo[key]
+
+
+def evaluate(v: Value, env: Dict[str, int], memo: Optional[dict] = None) -> int:
+    """Evaluate a value (int or Expr) under a complete assignment."""
+    if not isinstance(v, Expr):
+        return v
+    return _eval(v, env, {} if memo is None else memo)
+
+
+# ---------------------------------------------------------------------------
+# Interned constructors with light canonicalisation
+# ---------------------------------------------------------------------------
+
+_intern: Dict[tuple, Expr] = {}
+
+
+def clear_intern_cache() -> None:
+    """Drop the interning table (tests use this to bound memory)."""
+    _intern.clear()
+
+
+def _key_of(v: Value):
+    return id(v) if isinstance(v, Expr) else ("i", v)
+
+
+def _intern_bin(op: str, a: Value, b: Value) -> BinExpr:
+    key = (op, _key_of(a), _key_of(b))
+    node = _intern.get(key)
+    if node is None:
+        node = object.__new__(BinExpr)
+        node.op = op
+        node.a = a
+        node.b = b
+        _intern[key] = node
+    return node  # type: ignore[return-value]
+
+
+def _intern_un(op: str, a: Value) -> UnExpr:
+    key = (op, _key_of(a))
+    node = _intern.get(key)
+    if node is None:
+        node = object.__new__(UnExpr)
+        node.op = op
+        node.a = a
+        _intern[key] = node
+    return node  # type: ignore[return-value]
+
+
+def mk_binop(op: str, a: Value, b: Value) -> Value:
+    """Build ``a op b`` with constant folding and identity rules."""
+    if op not in BINOPS:
+        raise ValueError(f"unknown binary operator {op!r}")
+    a_sym = isinstance(a, Expr)
+    b_sym = isinstance(b, Expr)
+    if not a_sym and not b_sym:
+        return _apply_binop(op, a, b)
+
+    # Canonical operand order for commutative ops: constant on the right.
+    if op in _COMMUTATIVE and not a_sym and b_sym:
+        a, b = b, a
+        a_sym, b_sym = b_sym, a_sym
+    # Comparisons with the constant on the left are flipped.
+    if op in _CMP_SWAP and not a_sym and b_sym:
+        a, b = b, a
+        op = _CMP_SWAP[op]
+        a_sym, b_sym = True, False
+
+    if not b_sym:
+        if op in ("add", "sub", "or", "xor", "shl", "shr") and b == 0:
+            return a
+        if op == "mul":
+            if b == 0:
+                return 0
+            if b == 1:
+                return a
+        if op == "div" and b == 1:
+            return a
+        if op == "and" and b == 0:
+            return 0
+        if op == "land" and b == 0:
+            return 0
+        if op == "lor" and b != 0:
+            return 1
+
+    if a_sym and b_sym and a is b:
+        if op in ("sub", "xor"):
+            return 0
+        if op in ("eq", "le", "ge"):
+            return 1
+        if op in ("ne", "lt", "gt"):
+            return 0
+        if op in ("and", "or"):
+            return a
+
+    # (x op c1) op c2 folding for associative chains with constants.
+    if (
+        not b_sym
+        and isinstance(a, BinExpr)
+        and not isinstance(a.b, Expr)
+        and op == a.op
+        and op in ("add", "mul", "and", "or", "xor")
+    ):
+        folded = _apply_binop(op, a.b, b)
+        return mk_binop(op, a.a, folded)
+    if not b_sym and isinstance(a, BinExpr) and not isinstance(a.b, Expr):
+        if a.op == "add" and op == "sub":
+            return mk_binop("add", a.a, a.b - b)
+        if a.op == "sub" and op == "add":
+            return mk_binop("add", a.a, b - a.b)
+        # Comparison of an offset expression against a constant.
+        if op in COMPARISONS and a.op == "add":
+            return mk_binop(op, a.a, b - a.b)
+
+    return _intern_bin(op, a, b)
+
+
+def mk_unop(op: str, a: Value) -> Value:
+    """Build ``op a`` with constant folding and double-negation removal."""
+    if op not in UNOPS:
+        raise ValueError(f"unknown unary operator {op!r}")
+    if not isinstance(a, Expr):
+        return _apply_unop(op, a)
+    if op == "neg" and isinstance(a, UnExpr) and a.op == "neg":
+        return a.a
+    if op == "bnot" and isinstance(a, UnExpr) and a.op == "bnot":
+        return a.a
+    if op == "lnot":
+        if isinstance(a, UnExpr) and a.op == "lnot":
+            # lnot(lnot(x)) == (x != 0)
+            return mk_binop("ne", a.a, 0)
+        if isinstance(a, BinExpr) and a.op in _CMP_NEGATION:
+            return mk_binop(_CMP_NEGATION[a.op], a.a, a.b)
+    return _intern_un(op, a)
+
+
+def negate_condition(cond: Value) -> Value:
+    """Logical negation of a branch condition (``cond`` is truthy-int)."""
+    if not isinstance(cond, Expr):
+        return int(cond == 0)
+    if isinstance(cond, BinExpr) and cond.op in _CMP_NEGATION:
+        return mk_binop(_CMP_NEGATION[cond.op], cond.a, cond.b)
+    return mk_unop("lnot", cond)
+
+
+def truth_condition(cond: Value) -> Value:
+    """Normalise a value used as a branch condition to a 0/1 expression."""
+    if not isinstance(cond, Expr):
+        return int(cond != 0)
+    if isinstance(cond, BinExpr) and (cond.op in COMPARISONS or cond.op in ("land", "lor")):
+        return cond
+    if isinstance(cond, UnExpr) and cond.op == "lnot":
+        return cond
+    return mk_binop("ne", cond, 0)
+
+
+def conjoin(conds: Iterable[Value]) -> Value:
+    """Conjunction of conditions (used for reporting, not solving)."""
+    acc: Value = 1
+    for c in conds:
+        acc = mk_binop("land", acc, truth_condition(c))
+    return acc

@@ -1,0 +1,20 @@
+"""Constraint solver for path conditions (the STP stand-in).
+
+The solver decides satisfiability of path conditions over the finite-domain
+symbolic input variables created by ``make_symbolic``.  It combines interval
+propagation with backtracking search (:mod:`repro.solver.csp`), memoises
+results (:mod:`repro.solver.cache`) and exposes an optimisation query used
+by the ``upper_bound`` guest API call.
+"""
+
+from repro.solver.interval import Interval, interval_eval
+from repro.solver.csp import CspSolver, SolverStats
+from repro.solver.cache import SolverCache
+
+__all__ = [
+    "CspSolver",
+    "Interval",
+    "SolverCache",
+    "SolverStats",
+    "interval_eval",
+]

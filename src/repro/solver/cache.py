@@ -1,0 +1,60 @@
+"""Query caching for the constraint solver.
+
+Two classic optimisations from the KLEE lineage:
+
+- a *query cache*: identical constraint sets (by interned expression
+  identity) resolve to their previous answer,
+- a *counterexample cache*: recent satisfying assignments are re-tested
+  against new queries before any search, because consecutive path
+  conditions usually differ by one constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional
+
+UNSAT = "unsat"
+
+
+class SolverCache:
+    """Memoises query results keyed on the interned constraint set."""
+
+    def __init__(self, max_solutions: int = 64):
+        self._queries: Dict[FrozenSet[int], object] = {}
+        self._recent_solutions: List[Dict[str, int]] = []
+        self._max_solutions = max_solutions
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_for(constraints) -> FrozenSet[int]:
+        return frozenset(id(c) for c in constraints)
+
+    def lookup(self, key: FrozenSet[int]):
+        """Return a cached result: a solution dict, UNSAT, or None (miss)."""
+        result = self._queries.get(key)
+        if result is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: FrozenSet[int], result) -> None:
+        self._queries[key] = result
+        if isinstance(result, dict):
+            self.remember_solution(result)
+
+    def remember_solution(self, solution: Dict[str, int]) -> None:
+        self._recent_solutions.append(dict(solution))
+        if len(self._recent_solutions) > self._max_solutions:
+            self._recent_solutions.pop(0)
+
+    def candidate_solutions(self) -> List[Dict[str, int]]:
+        """Most-recent-first candidates for counterexample reuse."""
+        return list(reversed(self._recent_solutions))
+
+    def clear(self) -> None:
+        self._queries.clear()
+        self._recent_solutions.clear()
+        self.hits = 0
+        self.misses = 0

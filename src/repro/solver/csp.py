@@ -1,0 +1,550 @@
+"""Backtracking CSP solver with interval propagation.
+
+This is the reproduction's constraint solver (the paper uses STP through
+S2E).  Path-condition atoms are integer expressions over finite-domain
+input variables; the solver decides satisfiability by:
+
+1. normalising atoms to comparisons,
+2. splitting the query into independent connected components,
+3. tightening per-variable domains from single-variable affine atoms,
+4. depth-first search with concrete checks and interval pruning.
+
+Search effort is budgeted in deterministic *steps*; exceeding the budget
+raises :class:`~repro.errors.SolverTimeout`, which the engine treats as a
+discarded state (the paper's completeness caveat, §3.1).  Hash-function
+constraints remain genuinely hard here, exactly as they are for STP —
+this preserves the motivation for the paper's hash-neutralisation
+optimisation (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SolverTimeout
+from repro.lowlevel.expr import (
+    BinExpr,
+    COMPARISONS,
+    Expr,
+    Sym,
+    UnExpr,
+    evaluate,
+    mk_binop,
+    negate_condition,
+)
+from repro.solver.cache import UNSAT, SolverCache
+from repro.solver.interval import Interval, interval_eval
+
+#: Default search budget (value-assignment attempts per query).
+DEFAULT_BUDGET = 12_000
+
+#: Cap used by max_value when nothing bounds the expression.
+DEFAULT_MAX_CAP = 1 << 20
+
+
+@dataclass
+class SolverStats:
+    """Counters accumulated across queries (reported by benchmarks)."""
+
+    queries: int = 0
+    sat: int = 0
+    unsat: int = 0
+    timeouts: int = 0
+    search_steps: int = 0
+    cex_reuses: int = 0
+    max_value_queries: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _Component:
+    names: List[str] = field(default_factory=list)
+    constraints: List[Expr] = field(default_factory=list)
+
+
+def _is_boolean_valued(expr, memo: dict) -> bool:
+    """True when ``expr`` can only evaluate to 0 or 1."""
+    if not isinstance(expr, Expr):
+        return expr in (0, 1)
+    key = id(expr)
+    hit = memo.get(key)
+    if hit is not None:
+        return hit
+    if isinstance(expr, Sym):
+        result = expr.lo >= 0 and expr.hi <= 1
+    elif isinstance(expr, UnExpr):
+        result = expr.op == "lnot"
+    else:
+        assert isinstance(expr, BinExpr)
+        if expr.op in COMPARISONS or expr.op in ("land", "lor"):
+            result = True
+        elif expr.op in ("and", "or", "xor"):
+            memo[key] = False  # guard against (impossible) cycles
+            result = _is_boolean_valued(expr.a, memo) and _is_boolean_valued(expr.b, memo)
+        else:
+            result = False
+    memo[key] = result
+    return result
+
+
+def _normalise(constraints: Sequence) -> Optional[List[Expr]]:
+    """Return comparison-shaped atoms, or None if trivially UNSAT.
+
+    Conjunctions are decomposed: branch-free guest code (fast-path-
+    eliminated string comparison) produces conditions like
+    ``(c0==97)&(c1==98)&... == 1``; splitting them into per-character
+    atoms lets interval propagation solve them without search.
+    """
+    atoms: List[Expr] = []
+    seen = set()
+    bool_memo: dict = {}
+    work = list(constraints)
+    while work:
+        c = work.pop()
+        if not isinstance(c, Expr):
+            if c == 0:
+                return None
+            continue
+        if isinstance(c, UnExpr) and c.op == "lnot":
+            c = mk_binop("eq", c.a, 0)
+        elif not (isinstance(c, BinExpr) and (c.op in COMPARISONS or c.op in ("land", "lor"))):
+            c = mk_binop("ne", c, 0)
+        if not isinstance(c, Expr):
+            if c == 0:
+                return None
+            continue
+        # Decompose truthy conjunctions and falsy disjunctions.  Operands
+        # are pushed back raw (or properly negated); the loop's own
+        # normalisation turns them into comparison atoms.
+        if isinstance(c, BinExpr):
+            if c.op == "land":
+                work.append(c.a)
+                work.append(c.b)
+                continue
+            if (
+                c.op == "ne"
+                and not isinstance(c.b, Expr)
+                and c.b == 0
+                and isinstance(c.a, BinExpr)
+                and c.a.op == "and"
+                and _is_boolean_valued(c.a.a, bool_memo)
+                and _is_boolean_valued(c.a.b, bool_memo)
+            ):
+                work.append(c.a.a)
+                work.append(c.a.b)
+                continue
+            if (
+                c.op == "eq"
+                and not isinstance(c.b, Expr)
+                and c.b == 0
+                and isinstance(c.a, BinExpr)
+            ):
+                inner = c.a
+                if inner.op == "lor" or (
+                    inner.op == "or"
+                    and _is_boolean_valued(inner.a, bool_memo)
+                    and _is_boolean_valued(inner.b, bool_memo)
+                ):
+                    work.append(negate_condition(inner.a))
+                    work.append(negate_condition(inner.b))
+                    continue
+            # eq(X, 1) for boolean X is the same as asserting X.
+            if (
+                c.op == "eq"
+                and not isinstance(c.b, Expr)
+                and c.b == 1
+                and isinstance(c.a, BinExpr)
+                and c.a.op in ("and", "land")
+                and _is_boolean_valued(c.a, bool_memo)
+            ):
+                work.append(c.a)
+                continue
+        if id(c) in seen:
+            continue
+        seen.add(id(c))
+        atoms.append(c)
+    return atoms
+
+
+def _affine_of_single_var(expr) -> Optional[Tuple[str, int, int]]:
+    """Decompose ``expr`` as ``mul*var + add`` (mul > 0), if possible."""
+    if isinstance(expr, Sym):
+        return (expr.name, 1, 0)
+    if isinstance(expr, BinExpr):
+        if expr.op == "add" and not isinstance(expr.b, Expr):
+            inner = _affine_of_single_var(expr.a)
+            if inner:
+                name, mul, add = inner
+                return (name, mul, add + expr.b)
+        if expr.op == "sub" and not isinstance(expr.b, Expr):
+            inner = _affine_of_single_var(expr.a)
+            if inner:
+                name, mul, add = inner
+                return (name, mul, add - expr.b)
+        if expr.op == "mul" and not isinstance(expr.b, Expr) and expr.b > 0:
+            inner = _affine_of_single_var(expr.a)
+            if inner:
+                name, mul, add = inner
+                return (name, mul * expr.b, add * expr.b)
+    return None
+
+
+def _bound_from_atom(atom: Expr) -> Optional[Tuple[str, Interval, bool]]:
+    """Derive a domain restriction from a single-variable comparison.
+
+    Returns (name, interval, is_disequality).  For ``ne`` atoms the interval
+    is the *excluded* single point.
+    """
+    if not (isinstance(atom, BinExpr) and atom.op in COMPARISONS):
+        return None
+    if isinstance(atom.b, Expr):
+        return None
+    affine = _affine_of_single_var(atom.a)
+    if affine is None:
+        return None
+    name, mul, add = affine
+    c = atom.b - add
+    op = atom.op
+    if op == "eq":
+        if c % mul != 0:
+            return (name, Interval(1, 0), False)  # empty: impossible
+        return (name, Interval.exact(c // mul), False)
+    if op == "ne":
+        if c % mul != 0:
+            return None  # always satisfied; no restriction
+        return (name, Interval.exact(c // mul), True)
+    if op == "le":
+        return (name, Interval(None, c // mul), False)
+    if op == "lt":
+        return (name, Interval(None, (c - 1) // mul), False)
+    if op == "ge":
+        return (name, Interval(-(-c // mul), None), False)
+    if op == "gt":
+        return (name, Interval(-(-(c + 1) // mul), None), False)
+    return None
+
+
+class CspSolver:
+    """Finite-domain solver over symbolic input variables."""
+
+    def __init__(
+        self,
+        budget: int = DEFAULT_BUDGET,
+        cache: Optional[SolverCache] = None,
+    ):
+        self.budget = budget
+        self.cache = cache if cache is not None else SolverCache()
+        self.stats = SolverStats()
+
+    # -- public API ---------------------------------------------------------
+
+    def solve(
+        self,
+        constraints: Sequence,
+        hint: Optional[Dict[str, int]] = None,
+        budget: Optional[int] = None,
+    ) -> Optional[Dict[str, int]]:
+        """Return a satisfying assignment, or None if UNSAT.
+
+        Raises :class:`SolverTimeout` when the search budget is exhausted.
+        The assignment covers every variable occurring in the constraints.
+        ``budget`` overrides the solver-wide step budget for this query.
+        """
+        self.stats.queries += 1
+        atoms = _normalise(constraints)
+        if atoms is None:
+            self.stats.unsat += 1
+            return None
+        if not atoms:
+            self.stats.sat += 1
+            return dict(hint) if hint else {}
+
+        key = SolverCache.key_for(atoms)
+        cached = self.cache.lookup(key)
+        if cached is not None:
+            if cached is UNSAT:
+                self.stats.unsat += 1
+                return None
+            self.stats.sat += 1
+            return dict(cached)
+
+        domains = self._initial_domains(atoms)
+
+        # Counterexample reuse: try recent solutions before searching.
+        reuse = self._try_recent_solutions(atoms, domains, hint)
+        if reuse is not None:
+            self.stats.sat += 1
+            self.stats.cex_reuses += 1
+            self.cache.store(key, reuse)
+            return dict(reuse)
+
+        try:
+            solution = self._solve_components(
+                atoms, domains, hint, budget if budget is not None else self.budget
+            )
+        except SolverTimeout:
+            self.stats.timeouts += 1
+            raise
+        if solution is None:
+            self.stats.unsat += 1
+            self.cache.store(key, UNSAT)
+            return None
+        self.stats.sat += 1
+        self.cache.store(key, solution)
+        return dict(solution)
+
+    def satisfiable(self, constraints: Sequence, hint: Optional[Dict[str, int]] = None) -> bool:
+        return self.solve(constraints, hint=hint) is not None
+
+    def max_value(
+        self,
+        expr,
+        constraints: Sequence,
+        cap: int = DEFAULT_MAX_CAP,
+        hint: Optional[Dict[str, int]] = None,
+    ) -> Optional[int]:
+        """Maximum of ``expr`` over satisfying assignments (upper_bound API).
+
+        Returns None when the constraints are unsatisfiable.  The result is
+        clamped to ``cap`` so unconstrained expressions stay finite.
+        """
+        self.stats.max_value_queries += 1
+        if not isinstance(expr, Expr):
+            return expr if self.satisfiable(constraints, hint=hint) else None
+        base = self.solve(constraints, hint=hint)
+        if base is None:
+            return None
+        domains = self._initial_domains(_normalise(constraints) or [])
+        for var in expr.free_vars():
+            domains.setdefault(var.name, (var.lo, var.hi))
+        bound = interval_eval(expr, {n: d for n, d in domains.items()})
+        hi = cap if bound.hi is None else min(bound.hi, cap)
+        lo = evaluate(expr, self._complete(base, expr))
+        lo = min(lo, hi)
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            probe = list(constraints) + [mk_binop("ge", expr, mid)]
+            try:
+                sol = self.solve(probe, hint=base)
+            except SolverTimeout:
+                # Be conservative: fall back to the best known value.
+                return lo
+            if sol is None:
+                hi = mid - 1
+            else:
+                lo = max(mid, min(hi, evaluate(expr, self._complete(sol, expr))))
+        return lo
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _complete(solution: Dict[str, int], expr: Expr) -> Dict[str, int]:
+        env = dict(solution)
+        for var in expr.free_vars():
+            env.setdefault(var.name, var.lo)
+        return env
+
+    @staticmethod
+    def _initial_domains(atoms: Sequence[Expr]) -> Dict[str, Tuple[int, int]]:
+        domains: Dict[str, Tuple[int, int]] = {}
+        for atom in atoms:
+            for var in atom.free_vars():
+                domains.setdefault(var.name, (var.lo, var.hi))
+        return domains
+
+    def _try_recent_solutions(
+        self,
+        atoms: List[Expr],
+        domains: Dict[str, Tuple[int, int]],
+        hint: Optional[Dict[str, int]],
+    ) -> Optional[Dict[str, int]]:
+        candidates = []
+        if hint:
+            candidates.append(hint)
+        candidates.extend(self.cache.candidate_solutions()[:8])
+        for candidate in candidates:
+            env = {}
+            ok = True
+            for name, (lo, hi) in domains.items():
+                v = candidate.get(name, lo)
+                if not (lo <= v <= hi):
+                    ok = False
+                    break
+                env[name] = v
+            if not ok:
+                continue
+            if all(evaluate(a, env) for a in atoms):
+                return env
+        return None
+
+    def _solve_components(
+        self,
+        atoms: List[Expr],
+        domains: Dict[str, Tuple[int, int]],
+        hint: Optional[Dict[str, int]],
+        budget: int,
+    ) -> Optional[Dict[str, int]]:
+        components = self._split_components(atoms, domains)
+        solution: Dict[str, int] = {}
+        steps_used = 0
+        for comp in components:
+            comp_domains = {n: domains[n] for n in comp.names}
+            result, used = self._search_component(
+                comp, comp_domains, hint or {}, budget - steps_used
+            )
+            steps_used += used
+            self.stats.search_steps += used
+            if result is None:
+                return None
+            solution.update(result)
+        return solution
+
+    @staticmethod
+    def _split_components(atoms: List[Expr], domains) -> List[_Component]:
+        parent: Dict[str, str] = {n: n for n in domains}
+
+        def find(x: str) -> str:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        atom_vars: List[List[str]] = []
+        for atom in atoms:
+            names = sorted(v.name for v in atom.free_vars())
+            atom_vars.append(names)
+            for other in names[1:]:
+                ra, rb = find(names[0]), find(other)
+                if ra != rb:
+                    parent[rb] = ra
+
+        groups: Dict[str, _Component] = {}
+        for name in domains:
+            root = find(name)
+            groups.setdefault(root, _Component()).names.append(name)
+        for atom, names in zip(atoms, atom_vars):
+            if not names:
+                continue
+            groups[find(names[0])].constraints.append(atom)
+        ordered = sorted(groups.values(), key=lambda c: (len(c.names), c.names))
+        for comp in ordered:
+            comp.names.sort()
+        return ordered
+
+    def _search_component(
+        self,
+        comp: _Component,
+        domains: Dict[str, Tuple[int, int]],
+        hint: Dict[str, int],
+        budget: int,
+    ) -> Tuple[Optional[Dict[str, int]], int]:
+        if budget <= 0:
+            raise SolverTimeout("solver budget exhausted before search")
+
+        # Propagate single-variable bounds to a fixpoint (bounded passes).
+        work = dict(domains)
+        for _ in range(4):
+            changed = False
+            for atom in comp.constraints:
+                restriction = _bound_from_atom(atom)
+                if restriction is None:
+                    continue
+                name, interval, is_ne = restriction
+                lo, hi = work[name]
+                if is_ne:
+                    # Exclude a single point only when it is an endpoint.
+                    if interval.lo == lo == hi:
+                        return None, 0
+                    if interval.lo == lo:
+                        lo += 1
+                        changed = True
+                    elif interval.lo == hi:
+                        hi -= 1
+                        changed = True
+                else:
+                    cur = Interval(lo, hi).intersect(interval)
+                    if cur.is_empty():
+                        return None, 0
+                    new_lo = lo if cur.lo is None else cur.lo
+                    new_hi = hi if cur.hi is None else cur.hi
+                    if (new_lo, new_hi) != (lo, hi):
+                        lo, hi = new_lo, new_hi
+                        changed = True
+                work[name] = (lo, hi)
+            if not changed:
+                break
+
+        order = sorted(comp.names, key=lambda n: (work[n][1] - work[n][0], n))
+        var_atoms: Dict[str, List[Expr]] = {n: [] for n in order}
+        completes_at: Dict[str, List[Expr]] = {n: [] for n in order}
+        position = {n: i for i, n in enumerate(order)}
+        for atom in comp.constraints:
+            names = [v.name for v in atom.free_vars()]
+            last = max(names, key=lambda n: position[n])
+            completes_at[last].append(atom)
+            for n in names:
+                if n != last:
+                    var_atoms[n].append(atom)
+
+        env: Dict[str, int] = {}
+        steps = 0
+
+        def candidates(name: str):
+            lo, hi = work[name]
+            tried = set()
+            for v in (hint.get(name), lo, hi):
+                if v is not None and lo <= v <= hi and v not in tried:
+                    tried.add(v)
+                    yield v
+            for v in range(lo, hi + 1):
+                if v not in tried:
+                    yield v
+
+        def search(idx: int) -> bool:
+            nonlocal steps
+            if idx == len(order):
+                return True
+            name = order[idx]
+            for value in candidates(name):
+                steps += 1
+                if steps > budget:
+                    raise SolverTimeout(
+                        f"solver budget exhausted ({budget} steps)"
+                    )
+                env[name] = value
+                ok = True
+                for atom in completes_at[name]:
+                    if not evaluate(atom, env):
+                        ok = False
+                        break
+                if ok:
+                    for atom in var_atoms[name]:
+                        iv = interval_eval(atom, work, env, {})
+                        if iv.is_exact() and iv.lo == 0:
+                            ok = False
+                            break
+                if ok and search(idx + 1):
+                    return True
+                del env[name]
+            return False
+
+        try:
+            if search(0):
+                return dict(env), steps
+        except SolverTimeout:
+            self.stats.search_steps += steps
+            raise
+        return None, steps
+
+
+def make_default_solver(budget: int = DEFAULT_BUDGET) -> CspSolver:
+    """Factory used by the engine; one shared cache per solver instance."""
+    return CspSolver(budget=budget)
+
+
+__all__ = ["CspSolver", "SolverStats", "make_default_solver", "DEFAULT_BUDGET"]
+
+

@@ -1,0 +1,284 @@
+"""Interval arithmetic used for domain propagation and search pruning.
+
+Intervals are inclusive integer ranges ``[lo, hi]``; ``None`` bounds mean
+unbounded.  The rules are deliberately conservative: an imprecise result is
+only ever *wider* than the true range, so pruning stays sound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.lowlevel.expr import BinExpr, Expr, Sym, UnExpr
+
+
+class Interval:
+    """Inclusive integer interval; ``None`` means unbounded on that side."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Optional[int], hi: Optional[int]):
+        self.lo = lo
+        self.hi = hi
+
+    @staticmethod
+    def exact(v: int) -> "Interval":
+        return Interval(v, v)
+
+    @staticmethod
+    def top() -> "Interval":
+        return Interval(None, None)
+
+    @staticmethod
+    def boolean() -> "Interval":
+        return Interval(0, 1)
+
+    def is_empty(self) -> bool:
+        return self.lo is not None and self.hi is not None and self.lo > self.hi
+
+    def is_exact(self) -> bool:
+        return self.lo is not None and self.lo == self.hi
+
+    def contains(self, v: int) -> bool:
+        if self.lo is not None and v < self.lo:
+            return False
+        if self.hi is not None and v > self.hi:
+            return False
+        return True
+
+    def intersect(self, other: "Interval") -> "Interval":
+        lo = self.lo if other.lo is None else (other.lo if self.lo is None else max(self.lo, other.lo))
+        hi = self.hi if other.hi is None else (other.hi if self.hi is None else min(self.hi, other.hi))
+        return Interval(lo, hi)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Interval) and self.lo == other.lo and self.hi == other.hi
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return f"[{'-inf' if self.lo is None else self.lo}, {'+inf' if self.hi is None else self.hi}]"
+
+
+def _add(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None or b is None:
+        return None
+    return a + b
+
+
+def _neg(a: Optional[int]) -> Optional[int]:
+    return None if a is None else -a
+
+
+def iv_add(x: Interval, y: Interval) -> Interval:
+    return Interval(_add(x.lo, y.lo), _add(x.hi, y.hi))
+
+
+def iv_neg(x: Interval) -> Interval:
+    return Interval(_neg(x.hi), _neg(x.lo))
+
+
+def iv_sub(x: Interval, y: Interval) -> Interval:
+    return iv_add(x, iv_neg(y))
+
+
+def iv_mul(x: Interval, y: Interval) -> Interval:
+    corners = []
+    for a in (x.lo, x.hi):
+        for b in (y.lo, y.hi):
+            if a is None or b is None:
+                return Interval.top()
+            corners.append(a * b)
+    return Interval(min(corners), max(corners))
+
+
+def iv_div(x: Interval, y: Interval) -> Interval:
+    # Conservative floor division; only precise for a strictly positive or
+    # strictly negative divisor interval.
+    if y.lo is None or y.hi is None or y.contains(0):
+        return Interval.top()
+    corners = []
+    for a in (x.lo, x.hi):
+        for b in (y.lo, y.hi):
+            if a is None:
+                return Interval.top()
+            corners.append(a // b)
+    return Interval(min(corners), max(corners))
+
+
+def iv_mod(x: Interval, y: Interval) -> Interval:
+    # a % b for b > 0 lies in [0, b-1]; refine when x is already inside.
+    if y.lo is not None and y.lo > 0 and y.hi is not None:
+        if (
+            x.lo is not None
+            and x.hi is not None
+            and x.lo >= 0
+            and x.hi < y.lo
+        ):
+            return Interval(x.lo, x.hi)
+        return Interval(0, y.hi - 1)
+    return Interval.top()
+
+
+def iv_cmp(op: str, x: Interval, y: Interval) -> Interval:
+    """Comparison result as a 0/1 interval; exact when ranges are disjoint."""
+
+    def lt_always() -> bool:
+        return x.hi is not None and y.lo is not None and x.hi < y.lo
+
+    def gt_always() -> bool:
+        return x.lo is not None and y.hi is not None and x.lo > y.hi
+
+    def le_always() -> bool:
+        return x.hi is not None and y.lo is not None and x.hi <= y.lo
+
+    def ge_always() -> bool:
+        return x.lo is not None and y.hi is not None and x.lo >= y.hi
+
+    both_exact = x.is_exact() and y.is_exact()
+    if op == "eq":
+        if both_exact:
+            return Interval.exact(int(x.lo == y.lo))
+        if lt_always() or gt_always():
+            return Interval.exact(0)
+    elif op == "ne":
+        if both_exact:
+            return Interval.exact(int(x.lo != y.lo))
+        if lt_always() or gt_always():
+            return Interval.exact(1)
+    elif op == "lt":
+        if lt_always():
+            return Interval.exact(1)
+        if ge_always():
+            return Interval.exact(0)
+    elif op == "le":
+        if le_always():
+            return Interval.exact(1)
+        if gt_always():
+            return Interval.exact(0)
+    elif op == "gt":
+        if gt_always():
+            return Interval.exact(1)
+        if le_always():
+            return Interval.exact(0)
+    elif op == "ge":
+        if ge_always():
+            return Interval.exact(1)
+        if lt_always():
+            return Interval.exact(0)
+    return Interval.boolean()
+
+
+def _nonneg_bits_bound(x: Interval, y: Interval, op: str) -> Interval:
+    """Bounds for &, |, ^ when both operands are known non-negative."""
+    if x.lo is None or y.lo is None or x.lo < 0 or y.lo < 0:
+        return Interval.top()
+    if x.hi is None or y.hi is None:
+        if op == "and":
+            hi = x.hi if y.hi is None else y.hi
+            return Interval(0, hi)
+        return Interval(0, None)
+    if op == "and":
+        return Interval(0, min(x.hi, y.hi))
+    # or/xor: bounded by the next power of two above both highs.
+    bound = 1
+    while bound <= max(x.hi, y.hi):
+        bound <<= 1
+    return Interval(0, bound - 1)
+
+
+def interval_eval(
+    expr,
+    domains: Dict[str, Tuple[int, int]],
+    env: Optional[Dict[str, int]] = None,
+    memo: Optional[dict] = None,
+) -> Interval:
+    """Interval of possible values of ``expr``.
+
+    ``domains`` maps variable names to (lo, hi); ``env`` supplies exact
+    values for already-assigned variables (search-time pruning).
+    """
+    if not isinstance(expr, Expr):
+        return Interval.exact(expr)
+    if memo is None:
+        memo = {}
+    key = id(expr)
+    hit = memo.get(key)
+    if hit is not None:
+        return hit
+
+    if isinstance(expr, Sym):
+        if env is not None and expr.name in env:
+            result = Interval.exact(env[expr.name])
+        else:
+            dom = domains.get(expr.name)
+            result = Interval(dom[0], dom[1]) if dom else Interval(expr.lo, expr.hi)
+    elif isinstance(expr, UnExpr):
+        a = interval_eval(expr.a, domains, env, memo)
+        if expr.op == "neg":
+            result = iv_neg(a)
+        elif expr.op == "lnot":
+            if a.is_exact():
+                result = Interval.exact(int(a.lo == 0))
+            elif not a.contains(0):
+                result = Interval.exact(0)
+            else:
+                result = Interval.boolean()
+        else:  # bnot: ~x = -x - 1
+            result = iv_sub(iv_neg(a), Interval.exact(1))
+    else:
+        assert isinstance(expr, BinExpr)
+        a = interval_eval(expr.a, domains, env, memo)
+        b = interval_eval(expr.b, domains, env, memo)
+        op = expr.op
+        if op == "add":
+            result = iv_add(a, b)
+        elif op == "sub":
+            result = iv_sub(a, b)
+        elif op == "mul":
+            result = iv_mul(a, b)
+        elif op == "div":
+            result = iv_div(a, b)
+        elif op == "mod":
+            result = iv_mod(a, b)
+        elif op in ("eq", "ne", "lt", "le", "gt", "ge"):
+            result = iv_cmp(op, a, b)
+        elif op == "land":
+            if (a.is_exact() and a.lo == 0) or (b.is_exact() and b.lo == 0):
+                result = Interval.exact(0)
+            elif not a.contains(0) and not b.contains(0):
+                result = Interval.exact(1)
+            else:
+                result = Interval.boolean()
+        elif op == "lor":
+            if (a.is_exact() and a.lo != 0) or (b.is_exact() and b.lo != 0):
+                result = Interval.exact(1)
+            elif a.is_exact() and b.is_exact():
+                result = Interval.exact(int(bool(a.lo) or bool(b.lo)))
+            elif not a.contains(0) or not b.contains(0):
+                result = Interval.exact(1)
+            else:
+                result = Interval.boolean()
+        elif op in ("and", "or", "xor"):
+            if a.is_exact() and b.is_exact():
+                from repro.lowlevel.expr import _apply_binop
+
+                result = Interval.exact(_apply_binop(op, a.lo, b.lo))
+            else:
+                result = _nonneg_bits_bound(a, b, op)
+        elif op == "shl":
+            if b.is_exact() and b.lo >= 0:
+                result = iv_mul(a, Interval.exact(1 << b.lo))
+            else:
+                result = Interval.top()
+        elif op == "shr":
+            if b.is_exact() and b.lo >= 0:
+                result = iv_div(a, Interval.exact(1 << b.lo))
+            else:
+                result = Interval.top()
+        else:  # pragma: no cover - guarded by BINOPS
+            result = Interval.top()
+
+    memo[key] = result
+    return result

@@ -1,0 +1,19 @@
+"""Symbolic test library (the paper's §4.3 and Fig. 7).
+
+A :class:`SymbolicTest` declares symbolic inputs (``getString``/``getInt``)
+and a driver body; the runner executes it in *symbolic mode* (inside the
+Chef-generated engine) or *replay mode* (concrete inputs in the vanilla
+host VM), mirroring the paper's two-mode test runner.
+"""
+
+from repro.symtest.library import InputSpec, SymbolicTest
+from repro.symtest.runner import ReplayedCase, SymbolicTestRunner
+from repro.symtest.coverage import coverage_percent
+
+__all__ = [
+    "InputSpec",
+    "ReplayedCase",
+    "SymbolicTest",
+    "SymbolicTestRunner",
+    "coverage_percent",
+]

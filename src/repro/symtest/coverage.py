@@ -1,0 +1,29 @@
+"""Line-coverage helpers (the paper's coverage/luacov stand-in)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+
+def coverage_percent(covered: Set[int], coverable_count: int) -> float:
+    """Line coverage as a percentage (0..100)."""
+    if coverable_count <= 0:
+        return 0.0
+    return 100.0 * len(covered) / coverable_count
+
+
+def merge_coverage(parts: Iterable[Set[int]]) -> Set[int]:
+    merged: Set[int] = set()
+    for part in parts:
+        merged |= part
+    return merged
+
+
+def count_loc(source: str, comment_prefix: str = "#") -> int:
+    """Non-blank, non-comment source lines (the paper uses cloc)."""
+    count = 0
+    for line in source.split("\n"):
+        stripped = line.strip()
+        if stripped and not stripped.startswith(comment_prefix):
+            count += 1
+    return count

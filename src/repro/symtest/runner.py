@@ -1,0 +1,84 @@
+"""Symbolic test runner: symbolic mode and replay mode (§5.1).
+
+In symbolic mode the runner concatenates the package source with the
+generated driver and executes it in the Chef-generated engine.  In replay
+mode it re-executes generated test cases in the vanilla host VM and
+reports their concrete behaviour (output, exception, coverage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.chef.engine import RunResult
+from repro.chef.options import ChefConfig
+from repro.chef.testcase import TestCase
+from repro.errors import ReproError
+from repro.symtest.library import SymbolicTest
+
+
+@dataclass
+class ReplayedCase:
+    """Outcome of replaying one generated test in the vanilla VM."""
+
+    case: TestCase
+    output: List[int]
+    exception_name: Optional[str]
+    covered_lines: Set[int] = field(default_factory=set)
+    hang: bool = False
+
+
+class SymbolicTestRunner:
+    """Drives a :class:`SymbolicTest` against a guest package."""
+
+    def __init__(
+        self,
+        package_source: str,
+        test: SymbolicTest,
+        config: Optional[ChefConfig] = None,
+    ):
+        self.test = test
+        self.config = config if config is not None else ChefConfig()
+        driver = test.build_driver()
+        self.full_source = package_source.rstrip("\n") + "\n\n" + driver
+        if test.language == "minipy":
+            from repro.interpreters.minipy.engine import MiniPyEngine
+
+            self.engine = MiniPyEngine(self.full_source, self.config)
+        elif test.language == "minilua":
+            from repro.interpreters.minilua.engine import MiniLuaEngine
+
+            self.engine = MiniLuaEngine(self.full_source, self.config)
+        else:
+            raise ReproError(f"unknown guest language {test.language!r}")
+
+    # -- symbolic mode ---------------------------------------------------------
+
+    def run_symbolic(self) -> RunResult:
+        return self.engine.run()
+
+    # -- replay mode --------------------------------------------------------------
+
+    def replay_case(self, case: TestCase) -> ReplayedCase:
+        result = self.engine.replay(case)
+        exception_name = None
+        if result.exception is not None:
+            exception_name = self.engine.exception_name(result.exception.type_id)
+        return ReplayedCase(
+            case=case,
+            output=list(result.output),
+            exception_name=exception_name,
+            covered_lines=set(result.covered_lines),
+            hang=result.hit_budget,
+        )
+
+    def replay_suite(self, run: RunResult, high_level_only: bool = True) -> List[ReplayedCase]:
+        cases = run.hl_test_cases if high_level_only else list(run.suite)
+        return [self.replay_case(case) for case in cases]
+
+    # -- metrics ----------------------------------------------------------------------
+
+    def line_coverage(self, run: RunResult) -> float:
+        covered, coverable = self.engine.coverage(run.suite)
+        return len(covered) / coverable if coverable else 0.0

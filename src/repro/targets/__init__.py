@@ -1,0 +1,24 @@
+"""Testing targets: the reproduction's analogue of the paper's 11 packages.
+
+Each target is a real little library written *in the guest language*
+(MiniPy or MiniLua) with the same role, input-dependent control flow and
+observable behaviours as the package evaluated in the paper — including
+the seeded Lua JSON comment hang (§6.2) and mini-xlrd's four undocumented
+exception types (Table 3).
+"""
+
+from repro.targets.registry import (
+    TargetPackage,
+    all_targets,
+    lua_targets,
+    python_targets,
+    target_by_name,
+)
+
+__all__ = [
+    "TargetPackage",
+    "all_targets",
+    "lua_targets",
+    "python_targets",
+    "target_by_name",
+]

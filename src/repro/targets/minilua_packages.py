@@ -1,0 +1,435 @@
+"""The five MiniLua testing targets (Table 3, Lua half).
+
+``JSON_SOURCE`` carries the paper's §6.2 bug faithfully: a ``/*`` comment
+with no matching ``*/`` makes the tokenizer spin without advancing, an
+infinite loop that Chef's per-path budget flags as a hang.
+"""
+
+CLIARGS_SOURCE = '''
+-- mini-cliargs: command-line argument parser.
+
+function split_flag(arg)
+    local eq = string.find(arg, "=")
+    if eq == nil then
+        return {arg, nil}
+    end
+    return {string.sub(arg, 1, eq - 1), string.sub(arg, eq + 1, string.len(arg))}
+end
+
+function parse_args(args)
+    local result = {}
+    local positional = 0
+    local i = 1
+    while i <= #args do
+        local arg = args[i]
+        if string.sub(arg, 1, 2) == "--" then
+            local pair = split_flag(string.sub(arg, 3, string.len(arg)))
+            local key = pair[1]
+            if string.len(key) == 0 then
+                error("empty flag name")
+            end
+            if pair[2] == nil then
+                result[key] = true
+            else
+                result[key] = pair[2]
+            end
+        elseif string.sub(arg, 1, 1) == "-" then
+            local key = string.sub(arg, 2, string.len(arg))
+            if string.len(key) ~= 1 then
+                error("short flags are single characters")
+            end
+            result[key] = true
+        else
+            positional = positional + 1
+            result[positional] = arg
+        end
+        i = i + 1
+    end
+    return result
+end
+'''
+
+CLIARGS_TEST = {
+    "inputs": [("str", "a1", "\x00\x00\x00\x00")],
+    "body": """
+local parsed = parse_args({a1})
+print(1)
+""",
+}
+
+
+HAML_SOURCE = '''
+-- mini-haml: HTML description markup (a HAML-like line language).
+
+function render_line(line)
+    local first = string.sub(line, 1, 1)
+    if first == "%" then
+        local sp = string.find(line, " ")
+        local tag = ""
+        local content = ""
+        if sp == nil then
+            tag = string.sub(line, 2, string.len(line))
+        else
+            tag = string.sub(line, 2, sp - 1)
+            content = string.sub(line, sp + 1, string.len(line))
+        end
+        if string.len(tag) == 0 then
+            error("empty tag name")
+        end
+        return "<" .. tag .. ">" .. content .. "</" .. tag .. ">"
+    elseif first == "." then
+        local cls = string.sub(line, 2, string.len(line))
+        return "<div class=" .. cls .. "></div>"
+    elseif first == "/" then
+        return "<!-- " .. string.sub(line, 2, string.len(line)) .. " -->"
+    end
+    return line
+end
+
+function render(text)
+    local out = ""
+    local start = 1
+    local n = string.len(text)
+    local i = 1
+    while i <= n + 1 do
+        local at_end = i == n + 1
+        local brk = false
+        if at_end then
+            brk = true
+        elseif string.sub(text, i, i) == "\\n" then
+            brk = true
+        end
+        if brk then
+            local line = string.sub(text, start, i - 1)
+            if string.len(line) > 0 then
+                out = out .. render_line(line)
+            end
+            start = i + 1
+        end
+        i = i + 1
+    end
+    return out
+end
+'''
+
+HAML_TEST = {
+    "inputs": [("str", "doc", "%p hi\x00\x00")],
+    "body": """
+local html = render(doc)
+print(string.len(html))
+""",
+}
+
+
+JSON_SOURCE = '''
+-- mini sb-JSON: JSON format parser for Lua.
+-- Carries the comment-handling bug the paper found (§6.2): comments are
+-- not part of JSON, the parser accepts them "for convenience", and an
+-- unterminated /* comment makes the scanner spin forever.
+
+function skip_space(s, pos)
+    local n = string.len(s)
+    while pos <= n do
+        local c = string.sub(s, pos, pos)
+        if c == " " or c == "\\t" or c == "\\n" then
+            pos = pos + 1
+        elseif string.sub(s, pos, pos + 1) == "/*" then
+            local close = nil
+            local j = pos + 2
+            while j <= n - 1 do
+                if string.sub(s, j, j + 1) == "*/" then
+                    close = j
+                    break
+                end
+                j = j + 1
+            end
+            if close == nil then
+                -- BUG: unterminated comment; pos is not advanced, so the
+                -- loop keeps rescanning the same comment forever.
+                pos = pos
+            else
+                pos = close + 2
+            end
+        elseif string.sub(s, pos, pos + 1) == "//" then
+            local nl = nil
+            local j = pos + 2
+            while j <= n do
+                if string.sub(s, j, j) == "\\n" then
+                    nl = j
+                    break
+                end
+                j = j + 1
+            end
+            if nl == nil then
+                -- Same bug for line comments with no terminator.
+                pos = pos
+            else
+                pos = nl + 1
+            end
+        else
+            break
+        end
+    end
+    return pos
+end
+
+function parse_value(s, pos)
+    pos = skip_space(s, pos)
+    local n = string.len(s)
+    if pos > n then
+        error("unexpected end of JSON input")
+    end
+    local c = string.sub(s, pos, pos)
+    if c == "[" then
+        return parse_array(s, pos)
+    end
+    if c == "\\"" then
+        return parse_string(s, pos)
+    end
+    if string.sub(s, pos, pos + 3) == "true" then
+        return {true, pos + 4}
+    end
+    if string.sub(s, pos, pos + 4) == "false" then
+        return {false, pos + 5}
+    end
+    if string.sub(s, pos, pos + 3) == "null" then
+        return {nil, pos + 4}
+    end
+    return parse_number(s, pos)
+end
+
+function parse_string(s, pos)
+    local n = string.len(s)
+    local out = ""
+    local i = pos + 1
+    while i <= n do
+        local c = string.sub(s, i, i)
+        if c == "\\"" then
+            return {out, i + 1}
+        end
+        out = out .. c
+        i = i + 1
+    end
+    error("unterminated string")
+end
+
+function parse_number(s, pos)
+    local n = string.len(s)
+    local i = pos
+    local value = 0
+    local digits = 0
+    local neg = false
+    if string.sub(s, i, i) == "-" then
+        neg = true
+        i = i + 1
+    end
+    while i <= n do
+        local c = string.sub(s, i, i)
+        local b = string.byte(c, 1)
+        if b >= 48 and b <= 57 then
+            value = value * 10 + (b - 48)
+            digits = digits + 1
+            i = i + 1
+        else
+            break
+        end
+    end
+    if digits == 0 then
+        error("bad number in JSON")
+    end
+    if neg then
+        value = 0 - value
+    end
+    return {value, i}
+end
+
+function parse_array(s, pos)
+    local items = {}
+    local count = 0
+    pos = skip_space(s, pos + 1)
+    if string.sub(s, pos, pos) == "]" then
+        return {items, pos + 1}
+    end
+    while true do
+        local pair = parse_value(s, pos)
+        count = count + 1
+        items[count] = pair[1]
+        pos = skip_space(s, pair[2])
+        local c = string.sub(s, pos, pos)
+        if c == "]" then
+            return {items, pos + 1}
+        end
+        if c ~= "," then
+            error("expected comma in array")
+        end
+        pos = pos + 1
+    end
+end
+
+function decode(s)
+    local pair = parse_value(s, 1)
+    return pair[1]
+end
+'''
+
+JSON_TEST = {
+    "inputs": [("str", "doc", "[1]\x00\x00\x00")],
+    "body": """
+local v = decode(doc)
+print(1)
+""",
+}
+
+
+MARKDOWN_SOURCE = '''
+-- mini-markdown: text-to-HTML conversion.
+
+function convert_line(line)
+    local n = string.len(line)
+    if n == 0 then
+        return ""
+    end
+    local level = 0
+    local i = 1
+    while i <= n do
+        if string.sub(line, i, i) == "#" then
+            level = level + 1
+            i = i + 1
+        else
+            break
+        end
+    end
+    if level > 0 and level <= 6 then
+        local rest = string.sub(line, level + 1, n)
+        if string.sub(rest, 1, 1) == " " then
+            local h = tostring(level)
+            return "<h" .. h .. ">" .. string.sub(rest, 2, string.len(rest)) .. "</h" .. h .. ">"
+        end
+    end
+    if string.sub(line, 1, 2) == "- " then
+        return "<li>" .. string.sub(line, 3, n) .. "</li>"
+    end
+    if string.sub(line, 1, 1) == ">" then
+        return "<blockquote>" .. string.sub(line, 2, n) .. "</blockquote>"
+    end
+    return "<p>" .. emphasis(line) .. "</p>"
+end
+
+function emphasis(text)
+    local out = ""
+    local n = string.len(text)
+    local i = 1
+    local open = false
+    while i <= n do
+        local c = string.sub(text, i, i)
+        if c == "*" then
+            if open then
+                out = out .. "</em>"
+                open = false
+            else
+                out = out .. "<em>"
+                open = true
+            end
+        else
+            out = out .. c
+        end
+        i = i + 1
+    end
+    if open then
+        error("unbalanced emphasis marker")
+    end
+    return out
+end
+'''
+
+MARKDOWN_TEST = {
+    "inputs": [("str", "text", "# h\x00\x00\x00")],
+    "body": """
+local html = convert_line(text)
+print(string.len(html))
+""",
+}
+
+
+MOONSCRIPT_SOURCE = '''
+-- mini-moonscript: a tiny indentation language that compiles to Lua text.
+
+function compile_expr(expr)
+    if string.len(expr) == 0 then
+        error("empty expression")
+    end
+    local bang = string.find(expr, "!")
+    if bang ~= nil then
+        local name = string.sub(expr, 1, bang - 1)
+        if string.len(name) == 0 then
+            error("missing function name before !")
+        end
+        return name .. "()"
+    end
+    return expr
+end
+
+function compile_line(line)
+    local n = string.len(line)
+    if string.sub(line, 1, 3) == "if " then
+        return "if " .. compile_expr(string.sub(line, 4, n)) .. " then"
+    end
+    if line == "else" then
+        return "else"
+    end
+    if string.sub(line, 1, 7) == "return " then
+        return "return " .. compile_expr(string.sub(line, 8, n))
+    end
+    local eq = string.find(line, "=")
+    if eq ~= nil then
+        local name = string.sub(line, 1, eq - 1)
+        local value = string.sub(line, eq + 1, n)
+        if string.len(name) == 0 then
+            error("assignment without target")
+        end
+        return "local " .. name .. " = " .. compile_expr(value)
+    end
+    return compile_expr(line)
+end
+
+function compile_chunk(text)
+    local out = ""
+    local start = 1
+    local n = string.len(text)
+    local depth = 0
+    local i = 1
+    while i <= n + 1 do
+        local brk = false
+        if i == n + 1 then
+            brk = true
+        elseif string.sub(text, i, i) == ";" then
+            brk = true
+        end
+        if brk then
+            local line = string.sub(text, start, i - 1)
+            if string.len(line) > 0 then
+                local compiled = compile_line(line)
+                if string.sub(compiled, 1, 2) == "if" then
+                    depth = depth + 1
+                end
+                out = out .. compiled .. "\\n"
+            end
+            start = i + 1
+        end
+        i = i + 1
+    end
+    while depth > 0 do
+        out = out .. "end\\n"
+        depth = depth - 1
+    end
+    return out
+end
+'''
+
+MOONSCRIPT_TEST = {
+    "inputs": [("str", "prog", "x=1\x00\x00\x00")],
+    "body": """
+local lua = compile_chunk(prog)
+print(string.len(lua))
+""",
+}

@@ -1,0 +1,493 @@
+"""The six MiniPy testing targets (Table 3, Python half).
+
+Each module-level ``*_SOURCE`` constant is MiniPy code; ``*_TEST`` is the
+symbolic-test body (inputs + driver) run by the benchmarks.
+"""
+
+ARGPARSE_SOURCE = '''
+# mini-argparse: command-line interface generator.
+# Documented exceptions: ArgumentError, ValueError, KeyError, TypeError.
+
+def make_parser():
+    parser = {}
+    parser["flags"] = []
+    parser["positionals"] = []
+    parser["types"] = {}
+    return parser
+
+def add_argument(parser, name):
+    if len(name) == 0:
+        raise ValueError("empty argument name")
+    kind = "str"
+    if name.startswith("#"):
+        kind = "int"
+        name = name[1:]
+        if len(name) == 0:
+            raise ValueError("empty typed argument")
+    if name.startswith("--"):
+        flag = name[2:]
+        if len(flag) == 0:
+            raise ValueError("empty flag name")
+        if flag in parser["flags"]:
+            raise ArgumentError("conflicting option string")
+        parser["flags"].append(flag)
+        parser["types"][flag] = kind
+    else:
+        if name.isdigit():
+            raise TypeError("positional name cannot be numeric")
+        parser["positionals"].append(name)
+        parser["types"][name] = kind
+    return parser
+
+def match_flag(parser, flag):
+    found = None
+    for known in parser["flags"]:
+        if known.startswith(flag):
+            if found != None:
+                raise ArgumentError("ambiguous option")
+            found = known
+    if found == None:
+        raise KeyError(flag)
+    return found
+
+def convert(parser, dest, text):
+    kind = parser["types"][dest]
+    if kind == "int":
+        return int(text)
+    return text
+
+def parse_args(parser, args):
+    result = {}
+    pos_index = 0
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg.startswith("--"):
+            body = arg[2:]
+            eq = body.find("=")
+            if eq >= 0:
+                flag = match_flag(parser, body[0:eq])
+                result[flag] = convert(parser, flag, body[eq + 1:])
+            else:
+                flag = match_flag(parser, body)
+                if i + 1 >= len(args):
+                    raise ArgumentError("expected one argument")
+                result[flag] = convert(parser, flag, args[i + 1])
+                i += 1
+        else:
+            if pos_index >= len(parser["positionals"]):
+                raise ArgumentError("unrecognized arguments")
+            dest = parser["positionals"][pos_index]
+            result[dest] = convert(parser, dest, arg)
+            pos_index += 1
+        i += 1
+    if pos_index < len(parser["positionals"]):
+        raise ArgumentError("too few arguments")
+    return result
+'''
+
+ARGPARSE_TEST = {
+    "inputs": [("str", "arg1_name", "\x00\x00\x00"), ("str", "arg1", "\x00\x00\x00")],
+    "body": """
+parser = make_parser()
+add_argument(parser, arg1_name)
+add_argument(parser, "--out")
+args = parse_args(parser, [arg1])
+print(len(args))
+""",
+}
+
+
+CONFIGPARSER_SOURCE = '''
+# mini-configparser: INI-style configuration file parser.
+# Documented exceptions: ParsingError.
+
+def parse_config(text):
+    sections = {}
+    current = None
+    lines = text.split("\\n")
+    for raw in lines:
+        line = raw.strip()
+        if len(line) == 0:
+            continue
+        if line.startswith(";") or line.startswith("#"):
+            continue
+        if line.startswith("["):
+            if not line.endswith("]"):
+                raise ParsingError("unterminated section header")
+            name = line[1:len(line) - 1].strip()
+            if len(name) == 0:
+                raise ParsingError("empty section name")
+            if name not in sections:
+                sections[name] = {}
+            current = name
+        else:
+            eq = line.find("=")
+            if eq < 0:
+                raise ParsingError("line without key separator")
+            if current == None:
+                raise ParsingError("option before any section")
+            key = line[0:eq].strip().lower()
+            value = line[eq + 1:].strip()
+            if len(key) == 0:
+                raise ParsingError("empty option name")
+            section = sections[current]
+            section[key] = value
+    return sections
+
+def get_option(sections, section, key):
+    if section not in sections:
+        raise ParsingError("no such section")
+    options = sections[section]
+    return options.get(key.lower(), None)
+'''
+
+CONFIGPARSER_TEST = {
+    "inputs": [("str", "cfg", "[s]\x00k=v\x00")],
+    "body": """
+conf = parse_config(cfg.replace("\\x00", "\\n"))
+print(len(conf))
+""",
+}
+
+
+HTMLPARSER_SOURCE = '''
+# mini-htmlparser: HTML tag scanner with entity decoding and tag matching.
+# Documented exceptions: HTMLParseError.
+
+def decode_entities(text):
+    result = ""
+    i = 0
+    while i < len(text):
+        c = text[i]
+        if c == "&":
+            semi = text[i:].find(";")
+            if semi < 0:
+                raise HTMLParseError("unterminated entity")
+            entity = text[i + 1:i + semi]
+            if entity == "amp":
+                result = result + "&"
+            elif entity == "lt":
+                result = result + "<"
+            elif entity == "gt":
+                result = result + ">"
+            else:
+                raise HTMLParseError("unknown entity")
+            i = i + semi + 1
+        else:
+            result = result + c
+            i += 1
+    return result
+
+def parse_html(text):
+    events = []
+    stack = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "<":
+            close = text[i:].find(">")
+            if close < 0:
+                raise HTMLParseError("unterminated tag")
+            inner = text[i + 1:i + close]
+            if len(inner) == 0:
+                raise HTMLParseError("empty tag")
+            if inner.startswith("/"):
+                name = inner[1:].strip().lower()
+                if len(stack) == 0:
+                    raise HTMLParseError("close without open")
+                top = stack.pop()
+                if top != name:
+                    raise HTMLParseError("mismatched close tag")
+                events.append(["end", name])
+            else:
+                sp = inner.find(" ")
+                if sp >= 0:
+                    name = inner[0:sp].lower()
+                else:
+                    name = inner.lower()
+                if not name.isalpha():
+                    raise HTMLParseError("bad tag name")
+                stack.append(name)
+                events.append(["start", name])
+            i = i + close + 1
+        else:
+            text_end = text[i:].find("<")
+            if text_end < 0:
+                chunk = text[i:]
+                i = n
+            else:
+                chunk = text[i:i + text_end]
+                i = i + text_end
+            events.append(["data", decode_entities(chunk)])
+    if len(stack) > 0:
+        raise HTMLParseError("unclosed tags at end of input")
+    return events
+'''
+
+HTMLPARSER_TEST = {
+    "inputs": [("str", "html", "<a></a>\x00")],
+    "body": """
+events = parse_html(html)
+print(len(events))
+""",
+}
+
+
+SIMPLEJSON_SOURCE = '''
+# mini-simplejson: JSON decoder (objects, arrays, strings, ints, keywords).
+# Documented exceptions: JSONDecodeError, ValueError.
+
+def skip_ws(text, i):
+    while i < len(text):
+        c = text[i]
+        if c == " " or c == "\\t" or c == "\\n" or c == "\\r":
+            i += 1
+        else:
+            break
+    return i
+
+def parse_string(text, i):
+    if i >= len(text):
+        raise JSONDecodeError("unexpected end of input")
+    if text[i] != "\\"":
+        raise JSONDecodeError("expected string")
+    i += 1
+    result = ""
+    while True:
+        if i >= len(text):
+            raise JSONDecodeError("unterminated string")
+        c = text[i]
+        if c == "\\"":
+            return [result, i + 1]
+        if c == "\\\\":
+            if i + 1 >= len(text):
+                raise JSONDecodeError("bad escape")
+            esc = text[i + 1]
+            if esc == "n":
+                result = result + "\\n"
+            elif esc == "t":
+                result = result + "\\t"
+            elif esc == "\\"":
+                result = result + "\\""
+            elif esc == "\\\\":
+                result = result + "\\\\"
+            else:
+                raise ValueError("invalid escape character")
+            i += 2
+        else:
+            result = result + c
+            i += 1
+
+def parse_number(text, i):
+    start = i
+    if i < len(text) and text[i] == "-":
+        i += 1
+    digits = 0
+    while i < len(text) and text[i].isdigit():
+        i += 1
+        digits += 1
+    if digits == 0:
+        raise JSONDecodeError("bad number")
+    return [int(text[start:i]), i]
+
+def parse_value(text, i, depth):
+    if depth > 6:
+        raise JSONDecodeError("too deeply nested")
+    i = skip_ws(text, i)
+    if i >= len(text):
+        raise JSONDecodeError("unexpected end of input")
+    c = text[i]
+    if c == "{":
+        return parse_object(text, i, depth)
+    if c == "[":
+        return parse_array(text, i, depth)
+    if c == "\\"":
+        return parse_string(text, i)
+    if text[i:].startswith("true"):
+        return [True, i + 4]
+    if text[i:].startswith("false"):
+        return [False, i + 5]
+    if text[i:].startswith("null"):
+        return [None, i + 4]
+    return parse_number(text, i)
+
+def parse_array(text, i, depth):
+    items = []
+    i = skip_ws(text, i + 1)
+    if i < len(text) and text[i] == "]":
+        return [items, i + 1]
+    while True:
+        pair = parse_value(text, i, depth + 1)
+        items.append(pair[0])
+        i = skip_ws(text, pair[1])
+        if i >= len(text):
+            raise JSONDecodeError("unterminated array")
+        if text[i] == "]":
+            return [items, i + 1]
+        if text[i] != ",":
+            raise JSONDecodeError("expected comma in array")
+        i += 1
+
+def parse_object(text, i, depth):
+    obj = {}
+    i = skip_ws(text, i + 1)
+    if i < len(text) and text[i] == "}":
+        return [obj, i + 1]
+    while True:
+        i = skip_ws(text, i)
+        if i >= len(text):
+            raise JSONDecodeError("unterminated object")
+        key_pair = parse_string(text, i)
+        i = skip_ws(text, key_pair[1])
+        if i >= len(text) or text[i] != ":":
+            raise JSONDecodeError("expected colon")
+        value_pair = parse_value(text, i + 1, depth + 1)
+        obj[key_pair[0]] = value_pair[0]
+        i = skip_ws(text, value_pair[1])
+        if i >= len(text):
+            raise JSONDecodeError("unterminated object")
+        if text[i] == "}":
+            return [obj, i + 1]
+        if text[i] != ",":
+            raise JSONDecodeError("expected comma in object")
+        i += 1
+
+def loads(text):
+    pair = parse_value(text, 0, 0)
+    end = skip_ws(text, pair[1])
+    if end != len(text):
+        raise JSONDecodeError("trailing data")
+    return pair[0]
+'''
+
+SIMPLEJSON_TEST = {
+    "inputs": [("str", "doc", "[1]   ")],
+    "body": """
+value = loads(doc.strip())
+print(1)
+""",
+}
+
+
+UNICODECSV_SOURCE = '''
+# mini-unicodecsv: CSV reader with quoting.
+# Documented exceptions: CSVError.
+
+def parse_line(line):
+    fields = []
+    field = ""
+    i = 0
+    n = len(line)
+    in_quotes = False
+    while i < n:
+        c = line[i]
+        if in_quotes:
+            if c == "\\"":
+                if i + 1 < n and line[i + 1] == "\\"":
+                    field = field + "\\""
+                    i += 1
+                else:
+                    in_quotes = False
+            else:
+                field = field + c
+        else:
+            if c == "\\"":
+                if len(field) > 0:
+                    raise CSVError("quote inside unquoted field")
+                in_quotes = True
+            elif c == ",":
+                fields.append(field)
+                field = ""
+            else:
+                field = field + c
+        i += 1
+    if in_quotes:
+        raise CSVError("unterminated quoted field")
+    fields.append(field)
+    return fields
+
+def parse_csv(text):
+    rows = []
+    width = -1
+    for line in text.split("\\n"):
+        if len(line) == 0:
+            continue
+        row = parse_line(line)
+        if width < 0:
+            width = len(row)
+        elif len(row) != width:
+            raise CSVError("inconsistent row width")
+        rows.append(row)
+    return rows
+'''
+
+UNICODECSV_TEST = {
+    "inputs": [("str", "data", "a,b\x00\x00\x00")],
+    "body": """
+rows = parse_csv(data)
+print(len(rows))
+""",
+}
+
+
+XLRD_SOURCE = '''
+# mini-xlrd: reader for a BIFF-like binary workbook record stream.
+# Documented exceptions: XLRDError.
+# (The paper found four *undocumented* exception types in xlrd:
+#  BadZipfile, IndexError, error, and AssertionError — all reachable here.)
+
+def read_u16(data, pos):
+    lo = ord(data[pos])
+    hi = ord(data[pos + 1])
+    return lo + hi * 256
+
+def check_magic(data):
+    if len(data) < 2:
+        raise XLRDError("file too short")
+    if data.startswith("PK"):
+        raise BadZipfile("workbook is a zip archive")
+    if not data.startswith("BF"):
+        raise XLRDError("unsupported file format")
+
+def read_record(data, pos):
+    rtype = ord(data[pos])
+    length = ord(data[pos + 1])
+    if rtype > 9:
+        raise error("unknown record type")
+    payload = data[pos + 2:pos + 2 + length]
+    assert len(payload) == length
+    return [rtype, payload, pos + 2 + length]
+
+def open_workbook(data):
+    check_magic(data)
+    pos = 2
+    sheets = []
+    cells = 0
+    while pos < len(data):
+        record = read_record(data, pos)
+        rtype = record[0]
+        payload = record[1]
+        pos = record[2]
+        if rtype == 1:
+            sheets.append(payload)
+        elif rtype == 2:
+            if len(payload) < 2:
+                raise XLRDError("truncated cell record")
+            cells += read_u16(payload, 0)
+        elif rtype == 9:
+            break
+    book = {}
+    book["sheets"] = sheets
+    book["cells"] = cells
+    return book
+'''
+
+XLRD_TEST = {
+    "inputs": [("str", "data", "BF\x00\x00\x00\x00")],
+    "body": """
+book = open_workbook(data)
+print(book["cells"])
+""",
+}

@@ -1,0 +1,175 @@
+"""Registry of the 11 testing targets with Table 3 metadata.
+
+The *documented* exception classification follows the paper exactly
+(§6.2): an exception is documented if the package's documentation names
+it, or it is one of the common stdlib exceptions KeyError, ValueError and
+TypeError.  Anything else (including IndexError) counts as undocumented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.symtest.coverage import count_loc
+from repro.symtest.library import SimpleSymbolicTest
+from repro.targets import minilua_packages as LUA
+from repro.targets import minipy_packages as PY
+
+#: stdlib exceptions the paper treats as always-documented.
+COMMON_DOCUMENTED = frozenset({"KeyError", "ValueError", "TypeError"})
+
+
+@dataclass(frozen=True)
+class TargetPackage:
+    """One evaluation target (a row of Table 3)."""
+
+    name: str
+    language: str          # "minipy" or "minilua"
+    ptype: str             # System / Web / Office
+    description: str
+    source: str
+    test_inputs: Tuple[tuple, ...]
+    test_body: str
+    documented_exceptions: FrozenSet[str] = frozenset()
+
+    def symbolic_test(self) -> SimpleSymbolicTest:
+        return SimpleSymbolicTest(
+            list(self.test_inputs), self.test_body, language=self.language
+        )
+
+    def loc(self) -> int:
+        prefix = "#" if self.language == "minipy" else "--"
+        return count_loc(self.source, comment_prefix=prefix)
+
+    def is_documented(self, exception_name: str) -> bool:
+        return (
+            exception_name in self.documented_exceptions
+            or exception_name in COMMON_DOCUMENTED
+        )
+
+
+def python_targets() -> List[TargetPackage]:
+    return [
+        TargetPackage(
+            name="argparse",
+            language="minipy",
+            ptype="System",
+            description="Command-line interface",
+            source=PY.ARGPARSE_SOURCE,
+            test_inputs=tuple(PY.ARGPARSE_TEST["inputs"]),
+            test_body=PY.ARGPARSE_TEST["body"],
+            documented_exceptions=frozenset({"ArgumentError"}),
+        ),
+        TargetPackage(
+            name="ConfigParser",
+            language="minipy",
+            ptype="System",
+            description="Configuration file parser",
+            source=PY.CONFIGPARSER_SOURCE,
+            test_inputs=tuple(PY.CONFIGPARSER_TEST["inputs"]),
+            test_body=PY.CONFIGPARSER_TEST["body"],
+            documented_exceptions=frozenset({"ParsingError"}),
+        ),
+        TargetPackage(
+            name="HTMLParser",
+            language="minipy",
+            ptype="Web",
+            description="HTML parser",
+            source=PY.HTMLPARSER_SOURCE,
+            test_inputs=tuple(PY.HTMLPARSER_TEST["inputs"]),
+            test_body=PY.HTMLPARSER_TEST["body"],
+            documented_exceptions=frozenset({"HTMLParseError"}),
+        ),
+        TargetPackage(
+            name="simplejson",
+            language="minipy",
+            ptype="Web",
+            description="JSON format parser",
+            source=PY.SIMPLEJSON_SOURCE,
+            test_inputs=tuple(PY.SIMPLEJSON_TEST["inputs"]),
+            test_body=PY.SIMPLEJSON_TEST["body"],
+            documented_exceptions=frozenset({"JSONDecodeError"}),
+        ),
+        TargetPackage(
+            name="unicodecsv",
+            language="minipy",
+            ptype="Office",
+            description="CSV file parser",
+            source=PY.UNICODECSV_SOURCE,
+            test_inputs=tuple(PY.UNICODECSV_TEST["inputs"]),
+            test_body=PY.UNICODECSV_TEST["body"],
+            documented_exceptions=frozenset({"CSVError"}),
+        ),
+        TargetPackage(
+            name="xlrd",
+            language="minipy",
+            ptype="Office",
+            description="Microsoft Excel reader",
+            source=PY.XLRD_SOURCE,
+            test_inputs=tuple(PY.XLRD_TEST["inputs"]),
+            test_body=PY.XLRD_TEST["body"],
+            documented_exceptions=frozenset({"XLRDError"}),
+        ),
+    ]
+
+
+def lua_targets() -> List[TargetPackage]:
+    return [
+        TargetPackage(
+            name="cliargs",
+            language="minilua",
+            ptype="System",
+            description="Command-line interface",
+            source=LUA.CLIARGS_SOURCE,
+            test_inputs=tuple(LUA.CLIARGS_TEST["inputs"]),
+            test_body=LUA.CLIARGS_TEST["body"],
+        ),
+        TargetPackage(
+            name="haml",
+            language="minilua",
+            ptype="Web",
+            description="HTML description markup",
+            source=LUA.HAML_SOURCE,
+            test_inputs=tuple(LUA.HAML_TEST["inputs"]),
+            test_body=LUA.HAML_TEST["body"],
+        ),
+        TargetPackage(
+            name="JSON",
+            language="minilua",
+            ptype="Web",
+            description="JSON format parser",
+            source=LUA.JSON_SOURCE,
+            test_inputs=tuple(LUA.JSON_TEST["inputs"]),
+            test_body=LUA.JSON_TEST["body"],
+        ),
+        TargetPackage(
+            name="markdown",
+            language="minilua",
+            ptype="Web",
+            description="Text-to-HTML conversion",
+            source=LUA.MARKDOWN_SOURCE,
+            test_inputs=tuple(LUA.MARKDOWN_TEST["inputs"]),
+            test_body=LUA.MARKDOWN_TEST["body"],
+        ),
+        TargetPackage(
+            name="moonscript",
+            language="minilua",
+            ptype="System",
+            description="Language that compiles to Lua",
+            source=LUA.MOONSCRIPT_SOURCE,
+            test_inputs=tuple(LUA.MOONSCRIPT_TEST["inputs"]),
+            test_body=LUA.MOONSCRIPT_TEST["body"],
+        ),
+    ]
+
+
+def all_targets() -> List[TargetPackage]:
+    return python_targets() + lua_targets()
+
+
+def target_by_name(name: str) -> TargetPackage:
+    for target in all_targets():
+        if target.name == name:
+            return target
+    raise KeyError(f"unknown target {name!r}")

@@ -1,0 +1,97 @@
+"""High-level tree and CFG tests."""
+
+from repro.chef.hltree import HighLevelCfg, HighLevelTree
+
+
+class TestHighLevelTree:
+    def test_advance_creates_nodes_once(self):
+        tree = HighLevelTree()
+        a = tree.advance(tree.ROOT, 100)
+        b = tree.advance(tree.ROOT, 100)
+        assert a == b
+        c = tree.advance(a, 200)
+        assert c != a
+        assert tree.hlpc_of(c) == 200
+
+    def test_distinct_paths_by_signature(self):
+        tree = HighLevelTree()
+        sig1 = 0
+        for pc in (1, 2, 3):
+            sig1 = tree.extend_signature(sig1, pc)
+        sig2 = 0
+        for pc in (1, 3, 2):
+            sig2 = tree.extend_signature(sig2, pc)
+        assert sig1 != sig2
+        assert tree.record_path(sig1)
+        assert not tree.record_path(sig1)
+        assert tree.record_path(sig2)
+        assert tree.distinct_paths() == 2
+
+    def test_signature_order_sensitive(self):
+        tree = HighLevelTree()
+        assert tree.extend_signature(0, 5) != tree.extend_signature(0, 6)
+
+
+class TestHighLevelCfg:
+    def _linear(self, cfg, pcs, opcode=7):
+        prev = None
+        for pc in pcs:
+            cfg.observe(prev, opcode if prev is not None else None, pc, opcode)
+            prev = pc
+
+    def test_edges_discovered(self):
+        cfg = HighLevelCfg()
+        self._linear(cfg, [1, 2, 3])
+        assert cfg.successors[1] == {2}
+        assert cfg.edge_count() == 2
+        assert cfg.node_count() == 3
+
+    def test_branching_opcode_detection(self):
+        cfg = HighLevelCfg()
+        # pc 10 (opcode 9) branches to 11 and 12; plenty of occurrences so
+        # the 10%-rarest filter keeps opcode 9.
+        for dst in (11, 12):
+            cfg.observe(None, None, 10, 9)
+            cfg.observe(10, 9, dst, 7)
+        assert 9 in cfg.branching_opcodes()
+
+    def test_potential_branching_points(self):
+        cfg = HighLevelCfg()
+        for dst in (11, 12):
+            cfg.observe(10, 9, dst, 7)
+        cfg.opcode_of[10] = 9
+        # pc 20 has the branching opcode but only one successor so far.
+        cfg.observe(None, None, 20, 9)
+        cfg.observe(20, 9, 21, 7)
+        assert 20 in cfg.potential_branching_points()
+        assert 10 not in cfg.potential_branching_points()
+
+    def test_distance_to_uncovered(self):
+        cfg = HighLevelCfg()
+        for dst in (11, 12):
+            cfg.observe(10, 9, dst, 7)
+        # chain 1 -> 2 -> 20(branching, single successor)
+        cfg.observe(None, None, 1, 7)
+        cfg.observe(1, 7, 2, 7)
+        cfg.observe(2, 7, 20, 9)
+        cfg.observe(20, 9, 21, 7)
+        assert cfg.distance_to_uncovered(20) == 0
+        assert cfg.distance_to_uncovered(2) == 1
+        assert cfg.distance_to_uncovered(1) == 2
+
+    def test_distance_cache_invalidated_on_change(self):
+        cfg = HighLevelCfg()
+        for dst in (11, 12):
+            cfg.observe(10, 9, dst, 7)
+        cfg.observe(None, None, 30, 9)
+        cfg.observe(30, 9, 31, 7)
+        first = cfg.distance_to_uncovered(30)
+        assert first == 0
+        # Second successor appears: 30 is no longer a potential branching point.
+        cfg.observe(30, 9, 32, 7)
+        assert cfg.distance_to_uncovered(30) != 0
+
+    def test_unreachable_distance_is_large(self):
+        cfg = HighLevelCfg()
+        cfg.observe(None, None, 1, 7)
+        assert cfg.distance_to_uncovered(1) >= 1_000_000

@@ -1,0 +1,129 @@
+"""Search strategy unit tests (random baseline + both CUPA instances)."""
+
+import random
+from collections import Counter
+
+from repro.chef.hltree import HighLevelCfg
+from repro.chef.strategies import (
+    CoverageCupaStrategy,
+    PathCupaStrategy,
+    RandomStrategy,
+    make_strategy,
+)
+
+
+class FakePending:
+    """Just enough of a State for strategy bookkeeping."""
+
+    def __init__(self, dyn_node=0, static_hlpc=0, fork_ll_pc=0,
+                 fork_group=None, fork_index=0):
+        self.meta = {"dyn_node": dyn_node, "static_hlpc": static_hlpc}
+        self.fork_ll_pc = fork_ll_pc
+        self.fork_group = fork_group
+        self.fork_index = fork_index
+
+
+class TestRandomStrategy:
+    def test_drains_all(self):
+        strategy = RandomStrategy(random.Random(0))
+        states = [FakePending() for _ in range(20)]
+        for s in states:
+            strategy.add(s)
+        drained = [strategy.select() for _ in range(20)]
+        assert strategy.select() is None
+        assert set(map(id, drained)) == set(map(id, states))
+
+    def test_uniform_over_states(self):
+        rng = random.Random(1)
+        hits = Counter()
+        for _ in range(600):
+            strategy = RandomStrategy(rng)
+            a, b = FakePending(), FakePending()
+            a.tag, b.tag = "a", "b"
+            strategy.add(a)
+            strategy.add(b)
+            hits[strategy.select().tag] += 1
+        counts = sorted(hits.values())
+        assert counts[0] > 200  # roughly 50/50
+
+
+class TestPathCupa:
+    def test_hot_spot_does_not_dominate(self):
+        """One dynamic-HLPC class with 50 states vs one with 1 state:
+        selection must be roughly 50/50 by class (§3.3)."""
+        rng = random.Random(2)
+        wins = Counter()
+        for _ in range(300):
+            strategy = PathCupaStrategy(rng)
+            strategy.add(FakePending(dyn_node=1, fork_ll_pc=9))
+            for i in range(50):
+                strategy.add(FakePending(dyn_node=2, fork_ll_pc=9))
+            picked = strategy.select()
+            wins[picked.meta["dyn_node"]] += 1
+        assert wins[1] > 90
+
+    def test_second_level_partitions_by_ll_pc(self):
+        rng = random.Random(3)
+        wins = Counter()
+        for _ in range(300):
+            strategy = PathCupaStrategy(rng)
+            strategy.add(FakePending(dyn_node=1, fork_ll_pc=100))
+            for _ in range(30):
+                strategy.add(FakePending(dyn_node=1, fork_ll_pc=200))
+            wins[strategy.select().fork_ll_pc] += 1
+        assert wins[100] > 90
+
+
+class TestCoverageCupa:
+    def _cfg_with_target(self):
+        cfg = HighLevelCfg()
+        # opcode 9 branches at hlpc 10 -> known branching opcode.
+        for dst in (11, 12):
+            cfg.observe(10, 9, dst, 7)
+        # hlpc 20: branching opcode, single successor = potential target;
+        # hlpc 30: plain opcode far from anything.
+        cfg.observe(None, None, 20, 9)
+        cfg.observe(20, 9, 21, 7)
+        cfg.observe(None, None, 30, 7)
+        return cfg
+
+    def test_states_near_uncovered_branch_preferred(self):
+        cfg = self._cfg_with_target()
+        rng = random.Random(4)
+        wins = Counter()
+        for _ in range(400):
+            strategy = CoverageCupaStrategy(rng, cfg)
+            strategy.add(FakePending(static_hlpc=20))  # distance 0
+            strategy.add(FakePending(static_hlpc=30))  # unreachable
+            wins[strategy.select().meta["static_hlpc"]] += 1
+        assert wins[20] > wins[30] * 5
+
+    def test_fork_weight_prefers_latest_fork(self):
+        """§3.4: the last state to fork at a location gets max weight."""
+        cfg = self._cfg_with_target()
+        rng = random.Random(5)
+        wins = Counter()
+        for _ in range(500):
+            strategy = CoverageCupaStrategy(rng, cfg, fork_weight_p=0.25)
+            early = FakePending(static_hlpc=20, fork_group=(1, 7), fork_index=1)
+            late = FakePending(static_hlpc=20, fork_group=(1, 7), fork_index=4)
+            strategy.add(early)
+            strategy.add(late)
+            wins[strategy.select().fork_index] += 1
+        assert wins[4] > wins[1] * 3
+
+    def test_states_without_group_have_unit_weight(self):
+        cfg = self._cfg_with_target()
+        strategy = CoverageCupaStrategy(random.Random(6), cfg)
+        state = FakePending(static_hlpc=20)
+        strategy.add(state)
+        assert strategy.select() is state
+
+
+class TestFactory:
+    def test_make_strategy_names(self):
+        cfg = HighLevelCfg()
+        rng = random.Random(0)
+        assert isinstance(make_strategy("random", rng, cfg), RandomStrategy)
+        assert isinstance(make_strategy("cupa-path", rng, cfg), PathCupaStrategy)
+        assert isinstance(make_strategy("cupa-cov", rng, cfg), CoverageCupaStrategy)

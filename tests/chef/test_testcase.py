@@ -1,0 +1,54 @@
+"""TestCase / TestSuite container tests."""
+
+from repro.chef.testcase import TestCase, TestSuite
+
+
+def _case(i, **kwargs):
+    defaults = dict(test_id=i, inputs={"b0": [104, 105]}, status="halted")
+    defaults.update(kwargs)
+    return TestCase(**defaults)
+
+
+class TestTestCase:
+    def test_input_string_decoding(self):
+        case = _case(0)
+        assert case.input_string("b0") == "hi"
+        assert case.input_string("missing") == ""
+
+    def test_repr_flags(self):
+        case = _case(1, new_hl_path=True, exception_type=5, hang=True)
+        text = repr(case)
+        assert "new-hl" in text and "exc=5" in text and "hang" in text
+
+
+class TestTestSuite:
+    def test_high_level_filter(self):
+        suite = TestSuite()
+        suite.add(_case(0, new_hl_path=True))
+        suite.add(_case(1, new_hl_path=False))
+        suite.add(_case(2, new_hl_path=True))
+        assert len(suite) == 3
+        assert [c.test_id for c in suite.high_level_tests()] == [0, 2]
+
+    def test_exceptions_grouped_by_type(self):
+        suite = TestSuite()
+        suite.add(_case(0, exception_type=2))
+        suite.add(_case(1, exception_type=2))
+        suite.add(_case(2, exception_type=5))
+        suite.add(_case(3))
+        grouped = suite.exceptions()
+        assert set(grouped) == {2, 5}
+        assert len(grouped[2]) == 2
+
+    def test_hangs_and_crashes(self):
+        suite = TestSuite()
+        suite.add(_case(0, hang=True, status="budget"))
+        suite.add(_case(1, interpreter_crash=True, status="fault"))
+        suite.add(_case(2))
+        assert len(suite.hangs()) == 1
+        assert len(suite.crashes()) == 1
+
+    def test_iteration(self):
+        suite = TestSuite()
+        suite.add(_case(0))
+        assert [c.test_id for c in suite] == [0]

@@ -1,0 +1,167 @@
+"""Clay parser/codegen tests via end-to-end concrete execution."""
+
+import pytest
+
+from repro.clay import compile_program
+from repro.errors import ClayCompileError, ClaySyntaxError
+from repro.lowlevel.executor import LowLevelEngine
+from repro.lowlevel.machine import Status
+
+
+def run(source):
+    compiled = compile_program(source)
+    engine = LowLevelEngine(compiled.program)
+    state = engine.new_state()
+    engine.run_path(state)
+    assert state.status == Status.HALTED, state.fault_message
+    return state.machine.output
+
+
+class TestExpressions:
+    def test_precedence(self):
+        assert run("fn main() { out(2 + 3 * 4 - 10 / 2); }") == [9]
+
+    def test_comparisons_yield_01(self):
+        assert run("fn main() { out(3 < 4); out(4 < 3); out(5 == 5); }") == [1, 0, 1]
+
+    def test_bitwise(self):
+        assert run("fn main() { out(12 & 10); out(12 | 3); out(5 ^ 1); out(1 << 4); out(32 >> 2); }") == [8, 15, 4, 16, 8]
+
+    def test_unary(self):
+        assert run("fn main() { out(-5); out(!0); out(!7); out(~0); }") == [-5, 1, 0, -1]
+
+    def test_short_circuit_and(self):
+        # The right side would fault; short-circuit must skip it.
+        out = run("""
+            fn boom() { abort(1); return 0; }
+            fn main() { out(0 && boom()); out(1 || boom()); }
+        """)
+        assert out == [0, 1]
+
+    def test_floor_division_and_modulo(self):
+        assert run("fn main() { out(7 / 2); out(7 % 3); out(-7 % 3); }") == [3, 1, 2]
+
+    def test_indexing_sugar(self):
+        out = run("""
+            global arr[4];
+            fn main() {
+                arr[0] = 5;
+                arr[1] = arr[0] + 1;
+                out(arr[1]);
+                var base = arr;
+                out(base[0]);
+            }
+        """)
+        assert out == [6, 5]
+
+
+class TestStatementsAndFunctions:
+    def test_while_break_continue(self):
+        out = run("""
+            fn main() {
+                var i = 0;
+                var total = 0;
+                while (1) {
+                    i = i + 1;
+                    if (i == 3) { continue; }
+                    if (i > 5) { break; }
+                    total = total + i;
+                }
+                out(total);
+            }
+        """)
+        assert out == [12]  # 1+2+4+5
+
+    def test_else_if_chain(self):
+        out = run("""
+            fn classify(n) {
+                if (n < 0) { return 1; }
+                else if (n == 0) { return 2; }
+                else { return 3; }
+            }
+            fn main() { out(classify(-1)); out(classify(0)); out(classify(9)); }
+        """)
+        assert out == [1, 2, 3]
+
+    def test_mutual_recursion(self):
+        out = run("""
+            fn is_even(n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+            fn is_odd(n) { if (n == 0) { return 0; } return is_even(n - 1); }
+            fn main() { out(is_even(10)); out(is_odd(10)); }
+        """)
+        assert out == [1, 0]
+
+    def test_globals_and_consts(self):
+        out = run("""
+            const BASE = 10;
+            const DOUBLE = BASE * 2;
+            global counter = 5;
+            fn bump() { counter = counter + 1; return counter; }
+            fn main() { out(bump()); out(bump()); out(DOUBLE); }
+        """)
+        assert out == [6, 7, 20]
+
+    def test_missing_return_yields_zero(self):
+        assert run("fn f() { } fn main() { out(f()); }") == [0]
+
+
+class TestCompileErrors:
+    def test_undefined_variable(self):
+        with pytest.raises(ClayCompileError):
+            compile_program("fn main() { out(nope); }")
+
+    def test_undefined_function(self):
+        with pytest.raises(ClayCompileError):
+            compile_program("fn main() { nope(); }")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ClayCompileError):
+            compile_program("fn f(a) { return a; } fn main() { out(f(1, 2)); }")
+
+    def test_duplicate_function(self):
+        with pytest.raises(ClayCompileError):
+            compile_program("fn f() { } fn f() { } fn main() { }")
+
+    def test_redeclared_variable(self):
+        with pytest.raises(ClayCompileError):
+            compile_program("fn main() { var a = 1; var a = 2; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(ClayCompileError):
+            compile_program("fn main() { break; }")
+
+    def test_missing_entry(self):
+        with pytest.raises(ClayCompileError):
+            compile_program("fn other() { }")
+
+    def test_entry_with_params_rejected(self):
+        with pytest.raises(ClayCompileError):
+            compile_program("fn main(a) { }")
+
+    def test_builtin_shadowing_rejected(self):
+        with pytest.raises(ClayCompileError):
+            compile_program("fn load() { } fn main() { }")
+
+    def test_assign_to_array_global_rejected(self):
+        with pytest.raises(ClayCompileError):
+            compile_program("global arr[3]; fn main() { arr = 1; }")
+
+    def test_syntax_error_reports_location(self):
+        with pytest.raises(ClaySyntaxError):
+            compile_program("fn main( { }")
+
+    def test_nonconstant_global_initialiser(self):
+        with pytest.raises(ClayCompileError):
+            compile_program("fn f() { return 1; } global g = f(); fn main() { }")
+
+
+class TestSymbols:
+    def test_symbols_exported(self):
+        compiled = compile_program("""
+            global scalar = 3;
+            global table[8];
+            fn main() { }
+        """)
+        assert "scalar" in compiled.symbols
+        assert "table" in compiled.symbols
+        assert compiled.program.static_data[compiled.symbols["scalar"]] == 3

@@ -1,0 +1,66 @@
+"""Clay lexer tests."""
+
+import pytest
+
+from repro.clay.lexer import tokenize
+from repro.errors import ClaySyntaxError
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source)][:-1]  # drop EOF
+
+
+class TestTokens:
+    def test_keywords_vs_identifiers(self):
+        toks = kinds("fn foo var iffy if")
+        assert toks == [
+            ("kw", "fn"), ("ident", "foo"), ("kw", "var"),
+            ("ident", "iffy"), ("kw", "if"),
+        ]
+
+    def test_decimal_and_hex(self):
+        assert kinds("42 0x2A 0") == [("int", 42), ("int", 42), ("int", 0)]
+
+    def test_char_literals(self):
+        assert kinds("'a' '\\n' '\\\\' '\\''") == [
+            ("int", 97), ("int", 10), ("int", 92), ("int", 39),
+        ]
+
+    def test_multichar_operators(self):
+        values = [v for _k, v in kinds("a <= b << c == d && e")]
+        assert "<=" in values and "<<" in values and "==" in values and "&&" in values
+
+    def test_line_comment(self):
+        assert kinds("1 // comment\n2") == [("int", 1), ("int", 2)]
+
+    def test_block_comment_spanning_lines(self):
+        toks = tokenize("1 /* a\nb */ 2")
+        assert [(t.kind, t.value) for t in toks[:-1]] == [("int", 1), ("int", 2)]
+        assert toks[1].line == 2
+
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].line == 1 and toks[0].column == 1
+        assert toks[1].line == 2 and toks[1].column == 3
+
+
+class TestErrors:
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ClaySyntaxError):
+            tokenize("/* never ends")
+
+    def test_unterminated_char(self):
+        with pytest.raises(ClaySyntaxError):
+            tokenize("'a")
+
+    def test_unknown_escape(self):
+        with pytest.raises(ClaySyntaxError):
+            tokenize("'\\q'")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ClaySyntaxError):
+            tokenize("fn main() { $ }")
+
+    def test_malformed_hex(self):
+        with pytest.raises(ClaySyntaxError):
+            tokenize("0x")

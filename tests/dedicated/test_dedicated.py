@@ -1,0 +1,145 @@
+"""Dedicated NICE-style engine and differential testing."""
+
+import pytest
+
+from repro.dedicated import DedicatedNiceEngine, differential_test
+from repro.dedicated.features import FEATURE_MATRIX, PROBES
+
+
+class TestNiceEngine:
+    def test_explores_symbolic_int_branches(self):
+        engine = DedicatedNiceEngine("""
+x = sym_int(0, 0, 9)
+if x > 4:
+    print(1)
+else:
+    print(0)
+""")
+        result = engine.run(time_budget=5.0)
+        assert result.paths == 2
+        assert result.unsupported is None
+
+    def test_nested_branches(self):
+        engine = DedicatedNiceEngine("""
+x = sym_int(0, 0, 9)
+y = sym_int(0, 0, 9)
+if x > 4:
+    if y > 4:
+        print(3)
+    else:
+        print(2)
+else:
+    print(1)
+""")
+        result = engine.run(time_budget=5.0)
+        assert result.paths == 3
+
+    def test_dict_membership_on_symbolic_key(self):
+        engine = DedicatedNiceEngine("""
+d = {1: 10, 3: 30}
+x = sym_int(0, 0, 4)
+if x in d:
+    print(1)
+else:
+    print(0)
+""")
+        result = engine.run(time_budget=5.0)
+        assert result.paths == 2
+
+    def test_loops_with_symbolic_bound_checks(self):
+        engine = DedicatedNiceEngine("""
+n = sym_int(0, 0, 3)
+i = 0
+while i < n:
+    i += 1
+print(i)
+""")
+        result = engine.run(time_budget=5.0)
+        assert result.paths == 4  # n = 0..3
+
+    def test_symbolic_string_unsupported(self):
+        engine = DedicatedNiceEngine('s = sym_string("ab")\nprint(len(s))')
+        result = engine.run(time_budget=2.0)
+        assert result.unsupported is not None
+
+    def test_exceptions_unsupported(self):
+        engine = DedicatedNiceEngine("""
+x = sym_int(0, 0, 3)
+try:
+    print(x)
+except ValueError:
+    print(0)
+""")
+        result = engine.run(time_budget=2.0)
+        assert result.unsupported is not None
+
+    def test_native_methods_unsupported(self):
+        engine = DedicatedNiceEngine('print("abc".find("b"))')
+        result = engine.run(time_budget=2.0)
+        assert result.unsupported is not None
+
+    def test_concrete_programs_have_one_path(self):
+        engine = DedicatedNiceEngine("x = 1\nprint(x + 1)")
+        result = engine.run(time_budget=2.0)
+        assert result.paths == 1
+        assert result.branch_conditions == 0
+
+    def test_max_paths_limit(self):
+        engine = DedicatedNiceEngine("""
+a = sym_int(0, 0, 1)
+b = sym_int(0, 0, 1)
+c = sym_int(0, 0, 1)
+if a > 0:
+    print(1)
+if b > 0:
+    print(2)
+if c > 0:
+    print(3)
+""")
+        result = engine.run(time_budget=5.0, max_paths=3)
+        assert result.paths == 3
+
+
+_NOT_PROGRAM = """
+def gate(flag, x):
+    if not flag == 1:
+        return x + 100
+    return x
+
+f = sym_int(0, 0, 1)
+x = sym_int(0, 0, 3)
+print(gate(f, x))
+"""
+
+
+class TestDifferential:
+    def test_agreement_without_bug(self):
+        report = differential_test(_NOT_PROGRAM, time_budget=5.0, legacy_not_bug=False)
+        assert not report.found_bug
+        assert report.chef_paths == report.dedicated_paths
+
+    def test_not_bug_detected(self):
+        report = differential_test(_NOT_PROGRAM, time_budget=5.0, legacy_not_bug=True)
+        assert report.found_bug
+        assert report.missed_by_dedicated or report.redundant_dedicated_tests
+
+
+class TestFeatureMatrix:
+    def test_rows_complete(self):
+        engines = {"CHEF", "CutiePy", "NICE", "Commuter"}
+        for _group, _feature, support in FEATURE_MATRIX:
+            assert engines <= set(support)
+
+    def test_chef_dominates_nice(self):
+        """Table 4's visual takeaway: CHEF's column dominates NICE's."""
+        order = {"none": 0, "partial": 1, "complete": 2}
+        for group, feature, support in FEATURE_MATRIX:
+            if group == "meta":
+                continue
+            assert order[support["CHEF"]] >= order[support["NICE"]], feature
+
+    def test_probe_list_covers_key_features(self):
+        probed = {feature for feature, _src, _ok in PROBES}
+        assert "Strings" in probed
+        assert "Advanced control flow" in probed
+        assert "Native methods" in probed

@@ -1,0 +1,128 @@
+"""CowMap unit tests plus a model-based property test against dict."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lowlevel.cow import CowMap
+
+
+class TestBasics:
+    def test_set_get(self):
+        m = CowMap()
+        m[1] = "a"
+        assert m[1] == "a"
+        assert m.get(2) is None
+        assert m.get(2, "d") == "d"
+
+    def test_initial_contents(self):
+        m = CowMap({1: 10, 2: 20})
+        assert m[1] == 10 and m[2] == 20
+        assert len(m) == 2
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            CowMap()[99]
+
+    def test_delete(self):
+        m = CowMap({1: 10})
+        del m[1]
+        assert 1 not in m
+        with pytest.raises(KeyError):
+            del m[1]
+
+    def test_contains_and_len(self):
+        m = CowMap()
+        m["k"] = 1
+        assert "k" in m
+        assert "x" not in m
+        assert len(m) == 1
+
+    def test_overwrite(self):
+        m = CowMap({1: 10})
+        m[1] = 11
+        assert m[1] == 11
+        assert len(m) == 1
+
+
+class TestForkSemantics:
+    def test_fork_shares_existing(self):
+        parent = CowMap({1: 10})
+        child = parent.fork()
+        assert child[1] == 10
+
+    def test_child_writes_invisible_to_parent(self):
+        parent = CowMap({1: 10})
+        child = parent.fork()
+        child[1] = 99
+        child[2] = 2
+        assert parent[1] == 10
+        assert 2 not in parent
+
+    def test_parent_writes_after_fork_invisible_to_child(self):
+        parent = CowMap({1: 10})
+        child = parent.fork()
+        parent[1] = 55
+        parent[3] = 3
+        assert child[1] == 10
+        assert 3 not in child
+
+    def test_delete_in_child_only(self):
+        parent = CowMap({1: 10})
+        child = parent.fork()
+        del child[1]
+        assert 1 in parent
+        assert 1 not in child
+
+    def test_deep_fork_chain_compacts(self):
+        m = CowMap({0: 0})
+        forks = []
+        for i in range(1, 64):
+            m[i] = i
+            forks.append(m.fork())
+        assert m[0] == 0
+        assert m[63] == 63
+        # Layer chains are bounded by compaction.
+        assert len(m._layers) <= 13
+        for i, f in enumerate(forks, start=1):
+            assert f[i] == i
+
+    def test_iteration_skips_tombstones(self):
+        m = CowMap({1: 10, 2: 20})
+        child = m.fork()
+        del child[1]
+        assert sorted(child.keys()) == [2]
+        assert child.to_dict() == {2: 20}
+
+
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("set"), st.integers(0, 20), st.integers(-5, 5)),
+            st.tuples(st.just("del"), st.integers(0, 20), st.just(0)),
+            st.tuples(st.just("fork"), st.just(0), st.just(0)),
+        ),
+        max_size=60,
+    )
+)
+def test_cowmap_matches_dict_model(ops):
+    """CowMap must behave exactly like dict under set/del/fork."""
+    cow = CowMap()
+    model = {}
+    snapshots = []
+    for op, key, value in ops:
+        if op == "set":
+            cow[key] = value
+            model[key] = value
+        elif op == "del":
+            if key in model:
+                del cow[key]
+                del model[key]
+        else:
+            snapshots.append((cow.fork(), dict(model)))
+    assert cow.to_dict() == model
+    assert len(cow) == len(model)
+    for snap_cow, snap_model in snapshots:
+        # Forks taken earlier must still match their frozen models...
+        # except that these forks were of the *same* underlying map and we
+        # kept mutating the original; forks must show the state at fork time.
+        assert snap_cow.to_dict() == snap_model

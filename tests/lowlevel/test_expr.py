@@ -1,0 +1,185 @@
+"""Unit and property tests for the symbolic expression DAG."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lowlevel.expr import (
+    BinExpr,
+    Sym,
+    UnExpr,
+    evaluate,
+    is_symbolic,
+    mk_binop,
+    mk_unop,
+    negate_condition,
+    truth_condition,
+)
+
+
+@pytest.fixture
+def x():
+    return Sym("tx_x", 0, 255)
+
+
+@pytest.fixture
+def y():
+    return Sym("tx_y", 0, 255)
+
+
+class TestInterning:
+    def test_same_structure_same_object(self, x, y):
+        a = mk_binop("add", x, y)
+        b = mk_binop("add", x, y)
+        assert a is b
+
+    def test_different_op_different_object(self, x, y):
+        assert mk_binop("add", x, y) is not mk_binop("sub", x, y)
+
+    def test_sym_registry_reuses_instances(self):
+        assert Sym("tx_reuse", 0, 9) is Sym("tx_reuse", 0, 9)
+
+    def test_sym_domain_conflict_rejected(self):
+        Sym("tx_conflict", 0, 9)
+        with pytest.raises(ValueError):
+            Sym("tx_conflict", 0, 10)
+
+
+class TestConstantFolding:
+    def test_concrete_operands_fold(self):
+        assert mk_binop("add", 2, 3) == 5
+        assert mk_binop("mul", 4, 5) == 20
+        assert mk_binop("lt", 1, 2) == 1
+        assert mk_unop("neg", 7) == -7
+        assert mk_unop("lnot", 0) == 1
+
+    def test_identities(self, x):
+        assert mk_binop("add", x, 0) is x
+        assert mk_binop("mul", x, 1) is x
+        assert mk_binop("mul", x, 0) == 0
+        assert mk_binop("and", x, 0) == 0
+        assert mk_binop("or", x, 0) is x
+        assert mk_binop("sub", x, x) == 0
+        assert mk_binop("eq", x, x) == 1
+        assert mk_binop("ne", x, x) == 0
+
+    def test_commutative_constant_moves_right(self, x):
+        node = mk_binop("add", 5, x)
+        assert isinstance(node, BinExpr)
+        assert node.a is x
+        assert node.b == 5
+
+    def test_add_chain_folds(self, x):
+        node = mk_binop("add", mk_binop("add", x, 3), 4)
+        assert isinstance(node, BinExpr)
+        assert node.b == 7
+
+    def test_offset_comparison_folds(self, x):
+        # (x + 10) < 20  ==>  x < 10
+        node = mk_binop("lt", mk_binop("add", x, 10), 20)
+        assert isinstance(node, BinExpr)
+        assert node.a is x
+        assert node.b == 10
+
+    def test_comparison_flip_with_constant_left(self, x):
+        node = mk_binop("lt", 5, x)
+        assert isinstance(node, BinExpr)
+        assert node.op == "gt"
+        assert node.a is x
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            mk_binop("div", 4, 0)
+
+    def test_unknown_op_rejected(self, x):
+        with pytest.raises(ValueError):
+            mk_binop("pow", x, 2)
+        with pytest.raises(ValueError):
+            mk_unop("sqrt", x)
+
+
+class TestEvaluation:
+    def test_basic(self, x, y):
+        expr = mk_binop("add", mk_binop("mul", x, 3), y)
+        assert evaluate(expr, {"tx_x": 5, "tx_y": 2}) == 17
+
+    def test_concrete_passthrough(self):
+        assert evaluate(42, {}) == 42
+
+    def test_missing_variable_raises(self, x):
+        with pytest.raises(KeyError):
+            evaluate(mk_binop("add", x, 1), {})
+
+    def test_deep_expression_evaluates_iteratively(self, x):
+        expr = x
+        for _ in range(5000):
+            expr = mk_binop("add", expr, 1)
+        assert evaluate(expr, {"tx_x": 0}) == 5000
+
+    def test_memo_shared_subtrees(self, x):
+        shared = mk_binop("mul", x, 7)
+        expr = mk_binop("add", shared, shared)
+        assert evaluate(expr, {"tx_x": 3}) == 42
+
+
+class TestConditions:
+    def test_negate_comparison(self, x):
+        cond = mk_binop("lt", x, 10)
+        neg = negate_condition(cond)
+        assert neg.op == "ge"
+
+    def test_negate_concrete(self):
+        assert negate_condition(0) == 1
+        assert negate_condition(7) == 0
+
+    def test_negate_generic_expr(self, x):
+        neg = negate_condition(mk_binop("add", x, 1))
+        assert isinstance(neg, UnExpr) and neg.op == "lnot"
+
+    def test_truth_of_comparison_is_itself(self, x):
+        cond = mk_binop("eq", x, 3)
+        assert truth_condition(cond) is cond
+
+    def test_truth_of_arith_becomes_ne(self, x):
+        t = truth_condition(mk_binop("add", x, 1))
+        assert t.op == "ne"
+
+    def test_double_negation_of_comparisons(self, x):
+        cond = mk_binop("le", x, 9)
+        assert negate_condition(negate_condition(cond)) is cond
+
+    def test_lnot_of_comparison_flips(self, x):
+        node = mk_unop("lnot", mk_binop("eq", x, 3))
+        assert node.op == "ne"
+
+
+_small = st.integers(min_value=-100, max_value=100)
+_ops = st.sampled_from(["add", "sub", "mul", "and", "or", "xor", "eq", "ne",
+                        "lt", "le", "gt", "ge", "land", "lor"])
+
+
+class TestProperties:
+    @given(a=_small, b=_small, op=_ops)
+    def test_folding_matches_evaluation(self, a, b, op):
+        # Folding two constants must equal building with one symbolic side
+        # and evaluating.
+        var = Sym("tx_prop", -100, 100)
+        folded = mk_binop(op, a, b)
+        symbolic = mk_binop(op, var, b)
+        assert evaluate(symbolic, {"tx_prop": a}) == folded
+
+    @given(v=_small)
+    def test_negation_is_boolean_complement(self, v):
+        var = Sym("tx_neg", -100, 100)
+        cond = mk_binop("gt", var, 0)
+        env = {"tx_neg": v}
+        assert evaluate(cond, env) + evaluate(negate_condition(cond), env) == 1
+
+    @given(v=_small, w=_small)
+    def test_interned_equality_implies_equal_value(self, v, w):
+        var = Sym("tx_int1", -100, 100)
+        e1 = mk_binop("add", mk_binop("mul", var, 3), v)
+        e2 = mk_binop("add", mk_binop("mul", var, 3), v)
+        assert e1 is e2
+        if isinstance(e1, int):
+            return
+        assert evaluate(e1, {"tx_int1": w}) == evaluate(e2, {"tx_int1": w})

@@ -1,0 +1,120 @@
+"""LIR program model tests."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.lowlevel.program import Function, FunctionBuilder, Instr, Opcode, Program
+
+
+def _trivial_function(name="f", n_instrs=3):
+    fb = FunctionBuilder(name, 0)
+    for _ in range(n_instrs - 1):
+        fb.const(0)
+    fb.emit(Opcode.RET, a=None)
+    return fb.finish()
+
+
+class TestFunctionBuilder:
+    def test_registers_allocate_after_params(self):
+        fb = FunctionBuilder("f", 2)
+        assert fb.new_reg() == 2
+        assert fb.new_reg() == 3
+
+    def test_labels_patch_jumps(self):
+        fb = FunctionBuilder("f", 0)
+        label = fb.new_label()
+        fb.emit(Opcode.JMP, a=fb.label_ref(label))
+        fb.place_label(label)
+        fb.emit(Opcode.RET, a=None)
+        func = fb.finish()
+        assert func.instrs[0].a == 1
+
+    def test_branch_targets_patch(self):
+        fb = FunctionBuilder("f", 0)
+        cond = fb.const(1)
+        l1, l2 = fb.new_label(), fb.new_label()
+        fb.emit(Opcode.BR, a=cond, b=fb.label_ref(l1), extra=fb.label_ref(l2))
+        fb.place_label(l1)
+        fb.emit(Opcode.RET, a=None)
+        fb.place_label(l2)
+        fb.emit(Opcode.RET, a=None)
+        func = fb.finish()
+        br = func.instrs[1]
+        assert br.b == 2 and br.extra == 3
+
+    def test_unplaced_label_rejected(self):
+        fb = FunctionBuilder("f", 0)
+        label = fb.new_label()
+        fb.emit(Opcode.JMP, a=fb.label_ref(label))
+        with pytest.raises(MachineError):
+            fb.finish()
+
+    def test_double_label_placement_rejected(self):
+        fb = FunctionBuilder("f", 0)
+        label = fb.new_label()
+        fb.place_label(label)
+        with pytest.raises(MachineError):
+            fb.place_label(label)
+
+
+class TestProgram:
+    def test_finalize_assigns_disjoint_ids(self):
+        prog = Program("a")
+        prog.add_function(_trivial_function("a", 3))
+        prog.add_function(_trivial_function("b", 4))
+        prog.finalize()
+        ids = set()
+        for name in ("a", "b"):
+            func = prog.get_function(name)
+            for i in range(len(func.instrs)):
+                ids.add(func.instr_id(i))
+        assert len(ids) == 7
+
+    def test_locate_roundtrip(self):
+        prog = Program("a")
+        prog.add_function(_trivial_function("a", 2))
+        prog.add_function(_trivial_function("b", 2))
+        prog.finalize()
+        func = prog.get_function("b")
+        assert prog.locate(func.instr_id(1)) == ("b", 1)
+
+    def test_locate_unknown_raises(self):
+        prog = Program("a")
+        prog.add_function(_trivial_function("a"))
+        prog.finalize()
+        with pytest.raises(MachineError):
+            prog.locate(10_000)
+
+    def test_duplicate_function_rejected(self):
+        prog = Program("a")
+        prog.add_function(_trivial_function("a"))
+        with pytest.raises(MachineError):
+            prog.add_function(_trivial_function("a"))
+
+    def test_add_after_finalize_rejected(self):
+        prog = Program("a")
+        prog.add_function(_trivial_function("a"))
+        prog.finalize()
+        with pytest.raises(MachineError):
+            prog.add_function(_trivial_function("b"))
+
+    def test_static_data_and_data_end(self):
+        prog = Program("a")
+        prog.set_static(100, [1, 2, 3])
+        assert prog.static_data[101] == 2
+        assert prog.data_end == 103
+
+    def test_undefined_function_raises(self):
+        prog = Program("a")
+        with pytest.raises(MachineError):
+            prog.get_function("missing")
+
+    def test_disassemble_mentions_functions(self):
+        prog = Program("a")
+        prog.add_function(_trivial_function("a"))
+        prog.finalize()
+        assert "fn a" in prog.disassemble()
+
+    def test_instr_repr_readable(self):
+        instr = Instr(Opcode.BIN, dst=2, a=0, b=1, extra="add")
+        assert "add" in repr(instr)

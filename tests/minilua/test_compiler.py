@@ -1,0 +1,127 @@
+"""MiniLua frontend/compiler unit tests."""
+
+import pytest
+
+from repro.errors import MiniLangCompileError, MiniLangSyntaxError
+from repro.interpreters.minilua.bytecode import LOp, LUA_BUILTINS
+from repro.interpreters.minilua.compiler import compile_lua
+from repro.interpreters.minilua.frontend import parse_lua, tokenize_lua
+
+
+class TestLexer:
+    def test_keywords_and_names(self):
+        toks = tokenize_lua("local x = nil")
+        assert [t.kind for t in toks[:-1]] == ["kw", "name", "op", "kw"]
+
+    def test_comments_stripped(self):
+        toks = tokenize_lua("x = 1 -- comment\ny = 2")
+        values = [t.value for t in toks if t.kind == "num"]
+        assert values == [1, 2]
+
+    def test_string_escapes(self):
+        toks = tokenize_lua(r'"a\n\x41"')
+        assert toks[0].value == "a\nA"
+
+    def test_lua_operators(self):
+        toks = tokenize_lua("a ~= b .. #c")
+        ops = [t.value for t in toks if t.kind == "op"]
+        assert ops == ["~=", "..", "#"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(MiniLangSyntaxError):
+            tokenize_lua('"oops')
+
+
+class TestParser:
+    def test_chunk_shape(self):
+        chunk = parse_lua("""
+function f(a)
+    return a + 1
+end
+local y = f(2)
+""")
+        assert len(chunk.body) == 2
+
+    def test_elseif_chain(self):
+        chunk = parse_lua("""
+if a then
+    x = 1
+elseif b then
+    x = 2
+else
+    x = 3
+end
+""")
+        outer = chunk.body[0]
+        assert outer.orelse and outer.orelse[0].orelse
+
+    def test_dot_is_string_index(self):
+        chunk = parse_lua("x = t.field")
+        index = chunk.body[0].value
+        assert index.key.value == "field"
+
+    def test_statement_must_be_call(self):
+        with pytest.raises(MiniLangSyntaxError):
+            parse_lua("x + 1")
+
+    def test_concat_right_associative(self):
+        chunk = parse_lua('x = "a" .. "b" .. "c"')
+        node = chunk.body[0].value
+        assert node.right.op == ".."
+
+
+class TestCompiler:
+    def test_locals_vs_globals(self):
+        module = compile_lua("""
+g = 1
+local l = 2
+function f(p)
+    local inner = p
+    return inner + g
+end
+""")
+        assert "g" in module.global_names
+        assert "f" in module.global_names
+        assert "l" not in module.global_names  # chunk-local
+        func = [c for c in module.codes if c.name == "f"][0]
+        assert func.argcount == 1
+        assert "inner" in func.varnames
+
+    def test_dotted_builtins_resolved(self):
+        module = compile_lua('x = string.sub("abc", 1, 2)')
+        assert "string.sub" in module.global_names
+        slot = module.global_names["string.sub"]
+        assert module.global_inits[slot] == ("builtin", LUA_BUILTINS["string.sub"])
+
+    def test_numeric_for_desugars_to_while(self):
+        module = compile_lua("for i = 1, 3 do print(i) end")
+        main = module.codes[0]
+        ops = [op for op, _arg in main.instrs]
+        assert LOp.POP_JUMP_IF_FALSE in ops
+        assert "i" in main.varnames
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(MiniLangCompileError):
+            compile_lua("break")
+
+    def test_jump_targets_in_range(self):
+        module = compile_lua("""
+function f(x)
+    while x > 0 do
+        if x == 2 then
+            break
+        end
+        x = x - 1
+    end
+    return x
+end
+""")
+        for code in module.codes:
+            n = len(code.instrs)
+            for op, arg in code.instrs:
+                if op in (LOp.JUMP, LOp.POP_JUMP_IF_FALSE, LOp.POP_JUMP_IF_TRUE):
+                    assert 0 <= arg <= n
+
+    def test_coverable_lines(self):
+        module = compile_lua("x = 1\n\n-- c\ny = 2\n")
+        assert module.coverable_lines == [1, 4]

@@ -1,0 +1,107 @@
+"""MiniLua differential tests: Clay interpreter vs host VM."""
+
+import pytest
+
+from repro.chef.options import ChefConfig, InterpreterBuildOptions
+from repro.interpreters.minilua.engine import MiniLuaEngine
+
+_PROGRAMS = {
+    "arith": """
+print(2 + 3 * 4)
+print(7 / 2)
+print(7 % 3)
+print(2 < 3)
+""",
+    "strings": """
+local s = "Hello World"
+print(string.sub(s, 1, 5))
+print(string.find(s, "World"))
+print(string.lower(s))
+print(#s)
+print("a" .. 1 .. true)
+""",
+    "tables": """
+local t = {5, 6}
+table.insert(t, 7)
+print(#t)
+print(t[3])
+t.key = "v"
+print(t.key)
+t[2] = nil
+print(#t)
+""",
+    "control": """
+local total = 0
+for i = 1, 10 do
+    if i % 2 == 0 then
+        total = total + i
+    end
+end
+print(total)
+local n = 1
+while n < 50 do n = n * 2 end
+print(n)
+""",
+    "functions": """
+function fib(n)
+    if n < 2 then
+        return n
+    end
+    return fib(n - 1) + fib(n - 2)
+end
+print(fib(12))
+""",
+    "logic": """
+print(true and 1 == 1)
+print(false or nil)
+print(not nil)
+print(0 and true)
+""",
+}
+
+
+@pytest.mark.parametrize("name", sorted(_PROGRAMS))
+@pytest.mark.parametrize("build", ["vanilla", "full"])
+def test_lua_guest_matches_host(name, build):
+    options = (
+        InterpreterBuildOptions.full()
+        if build == "full"
+        else InterpreterBuildOptions.vanilla()
+    )
+    engine = MiniLuaEngine(
+        _PROGRAMS[name],
+        ChefConfig(
+            time_budget=30.0,
+            interpreter_options=options,
+            path_instr_budget=3_000_000,
+        ),
+    )
+    result = engine.run()
+    case = result.suite.cases[0]
+    assert case.status == "halted", (case.status, case.output)
+    host = engine.replay(case)
+    assert host.error is None, host.error
+    assert case.output == host.output
+
+
+def test_lua_error_agrees():
+    engine = MiniLuaEngine('error("x")', ChefConfig(time_budget=30.0))
+    result = engine.run()
+    case = result.suite.cases[0]
+    host = engine.replay(case)
+    assert case.exception_type == host.error.code
+
+
+def test_lua_symbolic_branching():
+    source = """
+local s = sym_string("\\0\\0\\0")
+if string.find(s, "@") == nil then
+    print(0)
+else
+    print(1)
+end
+"""
+    engine = MiniLuaEngine(source, ChefConfig(strategy="cupa-path", time_budget=8.0))
+    result = engine.run()
+    outputs = {tuple(c.output) for c in result.hl_test_cases}
+    assert (1, 0) in outputs and (1, 1) in outputs

@@ -1,0 +1,175 @@
+"""MiniLua host VM semantics battery."""
+
+import pytest
+
+from repro.interpreters.minilua.bytecode import (
+    LUA_ERROR_ARITH,
+    LUA_ERROR_TYPE,
+    LUA_ERROR_USER,
+)
+from repro.interpreters.minilua.compiler import compile_lua
+from repro.interpreters.minilua.hostvm import LuaHostVM
+
+
+def run(source, inputs=None):
+    return LuaHostVM(compile_lua(source), symbolic_inputs=inputs).run()
+
+
+def out_of(source, inputs=None):
+    result = run(source, inputs)
+    assert result.error is None, result.error
+    return result.output
+
+
+class TestValues:
+    def test_arithmetic_integer_division(self):
+        assert out_of("print(7 / 2)\nprint(7 % 3)") == [1, 3, 1, 1]
+
+    def test_concat_coerces(self):
+        assert out_of('print("n=" .. 42)')[2:] == [ord(c) for c in "n=42"]
+
+    def test_zero_is_truthy(self):
+        assert out_of("if 0 then print(1) else print(0) end") == [1, 1]
+
+    def test_nil_and_false_are_falsy(self):
+        assert out_of("if nil then print(1) else print(0) end") == [1, 0]
+        assert out_of("if false then print(1) else print(0) end") == [1, 0]
+
+    def test_unset_global_is_nil(self):
+        assert out_of("print(never_set)") == [3]
+
+    def test_inequality_operator(self):
+        assert out_of('print("a" ~= "b")') == [2, 1]
+
+
+class TestTables:
+    def test_constructor_and_length(self):
+        assert out_of("local t = {10, 20, 30}\nprint(#t)\nprint(t[2])") == [1, 3, 1, 20]
+
+    def test_string_keys_and_dot_sugar(self):
+        assert out_of('local t = {}\nt.name = 5\nprint(t["name"])') == [1, 5]
+
+    def test_missing_key_is_nil(self):
+        assert out_of("local t = {}\nprint(t[99])") == [3]
+
+    def test_table_insert_appends(self):
+        assert out_of("local t = {1}\ntable.insert(t, 2)\nprint(#t)\nprint(t[2])") == [1, 2, 1, 2]
+
+    def test_nil_assignment_deletes(self):
+        assert out_of("local t = {1, 2}\nt[2] = nil\nprint(#t)") == [1, 1]
+
+    def test_length_stops_at_hole(self):
+        assert out_of("local t = {}\nt[1] = 1\nt[3] = 3\nprint(#t)") == [1, 1]
+
+
+class TestControlFlow:
+    def test_numeric_for(self):
+        assert out_of("local s = 0\nfor i = 1, 5 do s = s + i end\nprint(s)") == [1, 15]
+
+    def test_for_with_break(self):
+        src = """
+local found = 0
+for i = 1, 10 do
+    if i == 4 then
+        found = i
+        break
+    end
+end
+print(found)
+"""
+        assert out_of(src) == [1, 4]
+
+    def test_while_and_elseif(self):
+        src = """
+function grade(n)
+    if n > 8 then
+        return "A"
+    elseif n > 5 then
+        return "B"
+    else
+        return "C"
+    end
+end
+print(grade(9))
+print(grade(7))
+print(grade(1))
+"""
+        out = out_of(src)
+        assert out == [4, 1, ord("A"), 4, 1, ord("B"), 4, 1, ord("C")]
+
+    def test_functions_pad_missing_args_with_nil(self):
+        src = """
+function f(a, b)
+    if b == nil then
+        return 1
+    end
+    return 2
+end
+print(f(5))
+print(f(5, 6))
+"""
+        assert out_of(src) == [1, 1, 1, 2]
+
+
+class TestStdlib:
+    def test_string_sub_one_based_inclusive(self):
+        assert out_of('print(string.sub("hello", 2, 4))')[2:] == [ord(c) for c in "ell"]
+
+    def test_string_sub_negative(self):
+        assert out_of('print(string.sub("hello", -3, -1))')[2:] == [ord(c) for c in "llo"]
+
+    def test_string_find_one_based_or_nil(self):
+        assert out_of('print(string.find("hello", "ll"))') == [1, 3]
+        assert out_of('print(string.find("hello", "zz"))') == [3]
+
+    def test_string_byte_char(self):
+        assert out_of('print(string.byte("A", 1))') == [1, 65]
+        assert out_of("print(string.char(66))") == [4, 1, 66]
+        assert out_of('print(string.byte("A", 9))') == [3]
+
+    def test_string_case(self):
+        assert out_of('print(string.upper("aB"))')[2:] == [ord(c) for c in "AB"]
+        assert out_of('print(string.lower("aB"))')[2:] == [ord(c) for c in "ab"]
+
+    def test_tostring_tonumber(self):
+        assert out_of("print(tostring(12))")[2:] == [ord(c) for c in "12"]
+        assert out_of("print(tostring(nil))")[2:] == [ord(c) for c in "nil"]
+        assert out_of('print(tonumber("  -9 "))') == [1, -9]
+        assert out_of('print(tonumber("4x"))') == [3]
+
+
+class TestErrors:
+    def test_error_builtin(self):
+        result = run('error("boom")')
+        assert result.error is not None
+        assert result.error.code == LUA_ERROR_USER
+
+    def test_arith_on_string_is_error(self):
+        result = run('local x = "a" + 1')
+        assert result.error.code == LUA_ERROR_ARITH
+
+    def test_call_non_function(self):
+        result = run("local x = 5\nx()")
+        assert result.error.code == LUA_ERROR_TYPE
+
+    def test_index_non_table(self):
+        result = run("local x = 5\nprint(x[1])")
+        assert result.error.code == LUA_ERROR_TYPE
+
+    def test_nil_table_key_rejected(self):
+        result = run("local t = {}\nt[nil] = 1")
+        assert result.error.code == LUA_ERROR_TYPE
+
+    def test_budget_flags_infinite_loop(self):
+        result = LuaHostVM(compile_lua("while true do end"), instr_budget=5000).run()
+        assert result.hit_budget
+
+
+class TestSymbolicReplay:
+    def test_sym_string(self):
+        result = run('local s = sym_string("xx")\nprint(s)', inputs=["ok"])
+        assert result.output[2:] == [ord("o"), ord("k")]
+
+    def test_sym_int(self):
+        result = run("local n = sym_int(0, 0, 9)\nprint(n)", inputs=[[5]])
+        assert result.output == [1, 5]

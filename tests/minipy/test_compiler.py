@@ -1,0 +1,135 @@
+"""MiniPy frontend/compiler unit tests."""
+
+import pytest
+
+from repro.errors import MiniLangCompileError, MiniLangSyntaxError
+from repro.interpreters.minipy.bytecode import FIRST_CUSTOM_EXCEPTION, Op
+from repro.interpreters.minipy.compiler import compile_source
+from repro.interpreters.minipy.frontend import parse_source, tokenize
+
+
+class TestLexer:
+    def test_indent_dedent(self):
+        toks = tokenize("if a:\n    b = 1\nc = 2\n")
+        kinds = [t.kind for t in toks]
+        assert "indent" in kinds and "dedent" in kinds
+
+    def test_implicit_continuation_in_brackets(self):
+        toks = tokenize("x = [1,\n     2]\n")
+        kinds = [t.kind for t in toks]
+        assert kinds.count("newline") == 1
+
+    def test_string_escapes(self):
+        toks = tokenize(r's = "a\n\t\x41"')
+        values = [t.value for t in toks if t.kind == "str"]
+        assert values == ["a\n\tA"]
+
+    def test_adjacent_strings_concatenate_in_parser(self):
+        module = parse_source('s = "ab" "cd"\n')
+        assert module.body[0].value.value == "abcd"
+
+    def test_tab_indentation_rejected(self):
+        with pytest.raises(MiniLangSyntaxError):
+            tokenize("if a:\n\tb = 1\n")
+
+    def test_inconsistent_dedent_rejected(self):
+        with pytest.raises(MiniLangSyntaxError):
+            tokenize("if a:\n    b = 1\n  c = 2\n")
+
+
+class TestCompiler:
+    def test_locals_vs_globals(self):
+        module = compile_source("""
+g = 1
+def f(a):
+    local_var = a + g
+    return local_var
+""")
+        func = module.code_by_name("f")
+        assert func.argcount == 1
+        assert "local_var" in func.varnames
+        assert "g" in module.global_names
+
+    def test_builtins_preloaded(self):
+        module = compile_source("print(len([1]))")
+        kinds = {module.global_inits[s][0] for s in module.global_inits}
+        assert "builtin" in kinds
+
+    def test_custom_exception_ids_assigned(self):
+        module = compile_source('raise WeirdError("x")')
+        assert module.exception_ids["WeirdError"] >= FIRST_CUSTOM_EXCEPTION
+        assert module.exception_name(module.exception_ids["WeirdError"]) == "WeirdError"
+
+    def test_builtin_exception_ids_stable(self):
+        module = compile_source('raise ValueError("x")')
+        assert module.exception_ids["ValueError"] == 2
+
+    def test_jump_targets_in_range(self):
+        module = compile_source("""
+def f(x):
+    while x > 0:
+        if x == 5:
+            break
+        x -= 1
+    return x
+""")
+        for code in module.codes:
+            n = len(code.instrs)
+            for op, arg in code.instrs:
+                if op in (Op.JUMP, Op.POP_JUMP_IF_FALSE, Op.POP_JUMP_IF_TRUE,
+                          Op.FOR_ITER, Op.SETUP_EXCEPT):
+                    assert 0 <= arg <= n
+
+    def test_coverable_lines_recorded(self):
+        module = compile_source("x = 1\n\n# comment\ny = 2\n")
+        assert module.coverable_lines == [1, 4]
+
+    def test_const_pool_deduplicates(self):
+        module = compile_source('a = "s"\nb = "s"\nc = 1\nd = 1')
+        main = module.codes[0]
+        assert main.consts.count("s") == 1
+        assert main.consts.count(1) == 1
+
+    def test_bool_and_int_consts_distinct(self):
+        module = compile_source("a = True\nb = 1")
+        main = module.codes[0]
+        assert True in main.consts and 1 in main.consts
+        assert len([c for c in main.consts if c == 1]) == 2  # True and 1
+
+    def test_disassemble(self):
+        module = compile_source("x = 1")
+        assert "LOAD_CONST" in module.codes[0].disassemble()
+
+
+class TestCompileErrors:
+    def test_nested_def_rejected(self):
+        with pytest.raises(MiniLangCompileError):
+            compile_source("def f():\n    def g():\n        pass\n")
+
+    def test_return_at_module_level_rejected(self):
+        with pytest.raises(MiniLangCompileError):
+            compile_source("return 1")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(MiniLangCompileError):
+            compile_source("break")
+
+    def test_unknown_method(self):
+        with pytest.raises(MiniLangCompileError):
+            compile_source('"s".frobnicate()')
+
+    def test_duplicate_parameter(self):
+        with pytest.raises(MiniLangCompileError):
+            compile_source("def f(a, a):\n    pass\n")
+
+    def test_bad_assignment_target(self):
+        with pytest.raises(MiniLangSyntaxError):
+            compile_source("f() = 3")
+
+    def test_try_without_except(self):
+        with pytest.raises(MiniLangSyntaxError):
+            compile_source("try:\n    pass\n")
+
+    def test_augmented_subscript_rejected(self):
+        with pytest.raises(MiniLangSyntaxError):
+            compile_source("d[0] += 1")

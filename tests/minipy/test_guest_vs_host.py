@@ -1,0 +1,138 @@
+"""Differential tests: the Clay interpreter on the LVM must agree with
+the host reference VM on concrete programs (the reproduction's guarantee
+that replay is faithful)."""
+
+import pytest
+
+from repro.chef.options import ChefConfig, InterpreterBuildOptions
+from repro.interpreters.minipy.engine import MiniPyEngine
+
+_PROGRAMS = {
+    "arith": """
+print(2 + 3 * 4)
+print(-7 // 2)
+print(17 % 5)
+print(2 * 3 == 6)
+""",
+    "strings": """
+s = "Hello, World"
+print(s.find("World"))
+print(s.lower())
+print(s[0:5] + "!")
+print(s.split(", ")[1])
+print(s.replace("l", "L"))
+print("x".join(["1", "2"]))
+""",
+    "collections": """
+l = [3, 1]
+l.append(2)
+print(l.pop())
+d = {"a": 1}
+d["b"] = 2
+print(d["a"] + d["b"])
+print(len(d.keys()))
+for k in d:
+    print(k)
+""",
+    "control": """
+total = 0
+for i in range(1, 6):
+    if i == 3:
+        continue
+    total += i
+print(total)
+n = 0
+while n < 100:
+    n += 7
+print(n)
+""",
+    "functions": """
+def gcd(a, b):
+    while b != 0:
+        t = a % b
+        a = b
+        b = t
+    return a
+print(gcd(48, 18))
+def apply_twice(x):
+    return x + x
+print(apply_twice(21))
+""",
+    "exceptions": """
+def risky(n):
+    if n == 0:
+        raise ValueError("zero")
+    if n == 1:
+        raise CustomError("one")
+    return n
+for i in range(3):
+    try:
+        print(risky(i))
+    except ValueError:
+        print(100)
+    except CustomError as e:
+        print(200)
+""",
+    "conversions": """
+print(int("42") + int("-3"))
+print(str(1000))
+print(ord("Z"))
+print(chr(97))
+print(int(True))
+""",
+    "regex_native": """
+print(re_match("he.*o", "hello"))
+print(re_match("a*b", "aaab"))
+print(re_match("a*b", "aaac"))
+""",
+    "truthiness": """
+if "":
+    print(1)
+else:
+    print(0)
+if [0]:
+    print(1)
+if {}:
+    print(1)
+else:
+    print(0)
+if None:
+    print(1)
+else:
+    print(0)
+""",
+}
+
+
+@pytest.mark.parametrize("name", sorted(_PROGRAMS))
+@pytest.mark.parametrize("build", ["vanilla", "full"])
+def test_guest_matches_host(name, build):
+    options = (
+        InterpreterBuildOptions.full()
+        if build == "full"
+        else InterpreterBuildOptions.vanilla()
+    )
+    engine = MiniPyEngine(
+        _PROGRAMS[name],
+        ChefConfig(time_budget=30.0, interpreter_options=options),
+    )
+    result = engine.run()
+    assert len(result.suite.cases) == 1
+    case = result.suite.cases[0]
+    assert case.status == "halted", (case.status, case.output)
+    host = engine.replay(case)
+    assert host.exception is None, host.exception
+    assert case.output == host.output
+    assert case.exception_type is None
+
+
+def test_uncaught_exception_agrees():
+    source = 'x = [1, 2]\nprint(x[9])'
+    engine = MiniPyEngine(source, ChefConfig(time_budget=30.0))
+    result = engine.run()
+    case = result.suite.cases[0]
+    host = engine.replay(case)
+    assert case.exception_type is not None
+    assert host.exception is not None
+    assert case.exception_type == host.exception.type_id
+    assert engine.exception_name(case.exception_type) == "IndexError"

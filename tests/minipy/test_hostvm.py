@@ -1,0 +1,288 @@
+"""MiniPy host VM semantics battery."""
+
+import pytest
+
+from repro.interpreters.minipy.compiler import compile_source
+from repro.interpreters.minipy.hostvm import HostVM
+
+
+def run(source, inputs=None):
+    vm = HostVM(compile_source(source), symbolic_inputs=inputs)
+    return vm.run()
+
+
+def out_of(source, inputs=None):
+    result = run(source, inputs)
+    assert result.exception is None, result.exception
+    return result.output
+
+
+def exc_of(source):
+    result = run(source)
+    assert result.exception is not None
+    return result.exception.name
+
+
+class TestValuesAndOperators:
+    def test_arithmetic(self):
+        assert out_of("print(7 + 3 * 2 - 1)") == [1, 12]
+        assert out_of("print(7 // 2)\nprint(7 % 3)") == [1, 3, 1, 1]
+
+    def test_negative_floor_division(self):
+        assert out_of("print(-7 // 2)") == [1, -4]
+
+    def test_string_concat_and_compare(self):
+        assert out_of('print("ab" + "cd")')[2:] == [ord(c) for c in "abcd"]
+        assert out_of('print("x" == "x")\nprint("x" != "y")') == [2, 1, 2, 1]
+
+    def test_bool_coerces_in_arithmetic(self):
+        assert out_of("print(True + 1)") == [1, 2]
+
+    def test_cross_type_equality_is_false(self):
+        assert out_of('print("1" == 1)') == [2, 0]
+
+    def test_none_equality(self):
+        assert out_of("print(None == None)") == [2, 1]
+
+    def test_chained_methods(self):
+        assert out_of('print("  AbC  ".strip().lower())')[2:] == [ord(c) for c in "abc"]
+
+    def test_in_operator(self):
+        assert out_of('print("ell" in "hello")') == [2, 1]
+        assert out_of("print(3 in [1, 2, 3])") == [2, 1]
+        assert out_of('d = {"k": 1}\nprint("k" in d)\nprint("x" not in d)') == [2, 1, 2, 1]
+
+    def test_ordering_on_strings_raises(self):
+        assert exc_of('print("a" < "b")') == "TypeError"
+
+
+class TestControlFlow:
+    def test_elif_ladder(self):
+        src = """
+def f(n):
+    if n < 0:
+        return 1
+    elif n == 0:
+        return 2
+    else:
+        return 3
+print(f(-5))
+print(f(0))
+print(f(5))
+"""
+        assert out_of(src) == [1, 1, 1, 2, 1, 3]
+
+    def test_while_break_continue(self):
+        src = """
+total = 0
+n = 0
+while n < 10:
+    n += 1
+    if n % 2 == 0:
+        continue
+    if n > 7:
+        break
+    total += n
+print(total)
+"""
+        assert out_of(src) == [1, 16]  # 1+3+5+7
+
+    def test_for_over_string_list_range_dict(self):
+        src = """
+acc = []
+for c in "ab":
+    acc.append(c)
+for x in [1, 2]:
+    acc.append(x)
+for i in range(2):
+    acc.append(i)
+for k in {"z": 1, "a": 2}:
+    acc.append(k)
+print(len(acc))
+"""
+        assert out_of(src) == [1, 8]
+
+    def test_break_in_for_pops_iterator(self):
+        src = """
+found = 0
+for x in [1, 2, 3]:
+    if x == 2:
+        found = x
+        break
+print(found)
+"""
+        assert out_of(src) == [1, 2]
+
+    def test_dict_iteration_order_is_insertion(self):
+        src = """
+d = {}
+d["b"] = 1
+d["a"] = 2
+d["c"] = 3
+out = []
+for k in d.keys():
+    out.append(k)
+print("".join(out))
+"""
+        assert out_of(src)[2:] == [ord(c) for c in "bac"]
+
+
+class TestExceptions:
+    def test_raise_and_catch(self):
+        src = """
+try:
+    raise ValueError("nope")
+except ValueError as e:
+    print(1)
+"""
+        assert out_of(src) == [1, 1]
+
+    def test_catch_by_base_exception(self):
+        src = """
+try:
+    raise CustomThing("x")
+except Exception:
+    print(1)
+"""
+        assert out_of(src) == [1, 1]
+
+    def test_uncaught_propagates(self):
+        assert exc_of('raise RuntimeError("boom")') == "RuntimeError"
+
+    def test_mismatched_handler_rethrows(self):
+        src = """
+try:
+    raise KeyError("k")
+except ValueError:
+    print(1)
+"""
+        assert exc_of(src) == "KeyError"
+
+    def test_nested_try(self):
+        src = """
+try:
+    try:
+        raise ValueError("inner")
+    except KeyError:
+        print(0)
+except ValueError:
+    print(1)
+"""
+        assert out_of(src) == [1, 1]
+
+    def test_builtin_errors_catchable(self):
+        src = """
+try:
+    x = [1][5]
+except IndexError:
+    print(1)
+try:
+    y = {}["missing"]
+except KeyError:
+    print(2)
+try:
+    z = 1 // 0
+except ZeroDivisionError:
+    print(3)
+"""
+        assert out_of(src) == [1, 1, 1, 2, 1, 3]
+
+    def test_assert_raises_assertionerror(self):
+        assert exc_of("assert 1 == 2") == "AssertionError"
+
+    def test_exception_in_function_unwinds(self):
+        src = """
+def inner():
+    raise ValueError("deep")
+def outer():
+    inner()
+    return 1
+try:
+    outer()
+except ValueError:
+    print(1)
+"""
+        assert out_of(src) == [1, 1]
+
+
+class TestBuiltinsAndMethods:
+    def test_int_parsing(self):
+        assert out_of('print(int("  42 "))\nprint(int("-7"))') == [1, 42, 1, -7]
+        assert exc_of('int("4x2")') == "ValueError"
+
+    def test_str_of_values(self):
+        assert out_of("print(str(-12))")[2:] == [ord(c) for c in "-12"]
+        assert out_of("print(str(True))")[2:] == [ord(c) for c in "True"]
+
+    def test_ord_chr(self):
+        assert out_of('print(ord("A"))\nprint(chr(66))') == [1, 65, 4, 1, 66]
+
+    def test_find_variants(self):
+        assert out_of('print("hello".find("ll"))') == [1, 2]
+        assert out_of('print("hello".find("zz"))') == [1, -1]
+        assert out_of('print("hello".find(""))') == [1, 0]
+
+    def test_split_and_join(self):
+        assert out_of('print(len("a,,b".split(",")))') == [1, 3]
+        assert out_of('print("-".join(["a", "b"]))')[2:] == [ord(c) for c in "a-b"]
+
+    def test_replace(self):
+        assert out_of('print("aaa".replace("a", "bb"))')[2:] == [ord(c) for c in "bbbbbb"]
+
+    def test_startswith_endswith(self):
+        assert out_of('print("hello".startswith("he"))') == [2, 1]
+        assert out_of('print("hello".endswith("lo"))') == [2, 1]
+
+    def test_isdigit_isalpha(self):
+        assert out_of('print("123".isdigit())\nprint("".isdigit())\nprint("ab".isalpha())') == [2, 1, 2, 0, 2, 1]
+
+    def test_slices(self):
+        assert out_of('print("hello"[1:3])')[2:] == [ord(c) for c in "el"]
+        assert out_of('print("hello"[:2])')[2:] == [ord(c) for c in "he"]
+        assert out_of('print("hello"[-2:])')[2:] == [ord(c) for c in "lo"]
+        assert out_of('print(len([1,2,3][1:]))') == [1, 2]
+
+    def test_negative_index(self):
+        assert out_of('print("abc"[-1])')[2:] == [ord("c")]
+
+    def test_list_append_pop(self):
+        assert out_of("l = [1]\nl.append(2)\nprint(l.pop())\nprint(len(l))") == [1, 2, 1, 1]
+
+    def test_dict_get(self):
+        assert out_of('d = {"a": 1}\nprint(d.get("a"))\nprint(d.get("b", 9))') == [1, 1, 1, 9]
+
+    def test_min_max_abs(self):
+        assert out_of("print(min(3, 5))\nprint(max(3, 5))\nprint(abs(-3))") == [1, 3, 1, 5, 1, 3]
+
+    def test_re_match(self):
+        assert out_of('print(re_match("ab*c", "abbbc"))') == [2, 1]
+        assert out_of('print(re_match("a.c", "axd"))') == [2, 0]
+
+    def test_function_arity_error(self):
+        assert exc_of("def f(a):\n    return a\nf(1, 2)") == "TypeError"
+
+    def test_undefined_global_raises(self):
+        assert exc_of("print(undefined_thing)") == "RuntimeError"
+
+
+class TestSymbolicReplay:
+    def test_sym_string_uses_recorded_input(self):
+        result = run('s = sym_string("xx")\nprint(s)', inputs=["ab"])
+        assert result.output[2:] == [ord("a"), ord("b")]
+
+    def test_sym_string_word_list_input(self):
+        result = run('s = sym_string("xx")\nprint(s)', inputs=[[104, 105]])
+        assert result.output[2:] == [ord("h"), ord("i")]
+
+    def test_sym_int_from_word_list(self):
+        result = run("n = sym_int(0, 0, 9)\nprint(n)", inputs=[[7]])
+        assert result.output == [1, 7]
+
+    def test_seed_used_when_inputs_exhausted(self):
+        result = run('s = sym_string("zz")\nprint(s)')
+        assert result.output[2:] == [ord("z"), ord("z")]
+
+    def test_call_function_helper(self):
+        vm = HostVM(compile_source("def double(x):\n    return x * 2"))
+        vm.run()
+        assert vm.call_function("double", [21]) == 42

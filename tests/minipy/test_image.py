@@ -1,0 +1,70 @@
+"""Program-image serialisation tests."""
+
+import pytest
+
+from repro.errors import InterpreterError
+from repro.interpreters.minipy.compiler import compile_source
+from repro.interpreters.minipy.image import IMAGE_BASE, ImageBuilder, build_image
+
+
+class TestImageBuilder:
+    def test_const_encoding(self):
+        builder = ImageBuilder()
+        addr = builder.encode_const(42)
+        assert builder.words[addr] == 1 and builder.words[addr + 1] == 42
+        addr = builder.encode_const("hi")
+        assert builder.words[addr] == 4
+        assert builder.words[addr + 1] == 2
+        assert builder.words[addr + 2] == ord("h")
+
+    def test_bool_and_int_not_conflated(self):
+        builder = ImageBuilder()
+        a = builder.encode_const(True)
+        b = builder.encode_const(1)
+        assert a != b
+        assert builder.words[a] == 2 and builder.words[b] == 1
+
+    def test_const_deduplication(self):
+        builder = ImageBuilder()
+        assert builder.encode_const("s") == builder.encode_const("s")
+
+    def test_unsupported_const_rejected(self):
+        builder = ImageBuilder()
+        with pytest.raises(InterpreterError):
+            builder.encode_const(3.14)
+
+
+class TestBuildImage:
+    def test_header_layout(self):
+        module = compile_source("x = 1\nprint(x)")
+        image = build_image(module)
+        assert image[IMAGE_BASE] == len(module.codes)
+        assert image[IMAGE_BASE + 2] == len(module.global_names)
+        assert image[IMAGE_BASE + 5] == module.main_code
+
+    def test_code_objects_reachable(self):
+        module = compile_source("def f(a):\n    return a\nprint(f(1))")
+        image = build_image(module)
+        table = image[IMAGE_BASE + 1]
+        for index in range(len(module.codes)):
+            code_ptr = image[table + index]
+            assert image[code_ptr] == index  # code_id
+            assert image[code_ptr + 1] == module.codes[index].argcount
+
+    def test_instruction_words(self):
+        module = compile_source("x = 7")
+        image = build_image(module)
+        table = image[IMAGE_BASE + 1]
+        code_ptr = image[table + 0]
+        n_instrs = image[code_ptr + 3]
+        instrs_ptr = image[code_ptr + 4]
+        pairs = [
+            (image[instrs_ptr + 2 * i], image[instrs_ptr + 2 * i + 1])
+            for i in range(n_instrs)
+        ]
+        assert pairs == module.codes[0].instrs
+
+    def test_global_inits_serialised(self):
+        module = compile_source("print(1)")
+        image = build_image(module)
+        assert image[IMAGE_BASE + 4] == len(module.global_inits)

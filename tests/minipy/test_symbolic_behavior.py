@@ -1,0 +1,162 @@
+"""Integration tests of the paper's core phenomena on MiniPy (§2.3, §4.2).
+
+These pin down the *mechanism* claims: low-level vs high-level path
+counts for string operations, the effect of each interpreter build, and
+exception-path discovery.
+"""
+
+import pytest
+
+from repro.chef.options import ChefConfig, InterpreterBuildOptions
+from repro.interpreters.minipy.engine import MiniPyEngine
+
+_FIND_PROGRAM = '''
+email = sym_string("\\x00\\x00\\x00\\x00\\x00")
+pos = email.find("@")
+if pos < 3:
+    print(0)
+else:
+    print(1)
+'''
+
+
+def _run(source, options, strategy="cupa-path", budget=6.0, seed=0):
+    engine = MiniPyEngine(
+        source,
+        ChefConfig(
+            strategy=strategy, seed=seed, time_budget=budget,
+            interpreter_options=options,
+        ),
+    )
+    return engine, engine.run()
+
+
+class TestFigure2And3:
+    def test_two_high_level_paths_for_find(self):
+        """validateEmail has exactly two high-level paths (Fig. 2)."""
+        _eng, result = _run(_FIND_PROGRAM, InterpreterBuildOptions.full())
+        assert result.hl_paths == 2
+        outputs = {tuple(c.output) for c in result.hl_test_cases}
+        assert outputs == {(1, 0), (1, 1)}
+
+    def test_optimized_build_collapses_low_level_paths(self):
+        """Branch-free find: one low-level path per high-level path."""
+        _eng, optimized = _run(_FIND_PROGRAM, InterpreterBuildOptions.full())
+        _eng, vanilla = _run(_FIND_PROGRAM, InterpreterBuildOptions.vanilla())
+        assert optimized.ll_paths == 2
+        # Vanilla find forks per character inside a single HLPC (Fig. 3).
+        assert vanilla.ll_paths > optimized.ll_paths
+        assert vanilla.hl_paths == 2
+
+    def test_generated_email_actually_contains_at(self):
+        engine, result = _run(_FIND_PROGRAM, InterpreterBuildOptions.full())
+        accepted = [c for c in result.hl_test_cases if c.output == [1, 1]]
+        assert accepted
+        assert "@" in accepted[0].input_string("b0")
+        assert accepted[0].input_string("b0").find("@") >= 3
+
+
+class TestInterpreterBuilds:
+    def test_symbolic_dict_key_explodes_without_hash_neutralization(self):
+        """A symbolic int key makes the bucket index symbolic (§4.2)."""
+        source = '''
+d = {}
+d[3] = 30
+k = sym_int(0, 0, 7)
+d[k] = 1
+print(len(d))
+'''
+        _eng, vanilla = _run(
+            source, InterpreterBuildOptions(symbolic_pointer_avoidance=True)
+        )
+        _eng, neutral = _run(
+            source,
+            InterpreterBuildOptions(
+                symbolic_pointer_avoidance=True, hash_neutralization=True
+            ),
+        )
+        # With a neutralised hash every key lands in bucket 0: fewer
+        # low-level paths than the bucket-enumerating vanilla hash.
+        assert neutral.ll_paths < vanilla.ll_paths
+
+    def test_interning_makes_boxing_fork(self):
+        """Vanilla small-int interning turns int boxing into a symbolic
+        table lookup; the optimized build boxes without forking."""
+        source = '''
+n = sym_int(0, 0, 200)
+m = n + 1
+print(1)
+'''
+        _eng, vanilla = _run(source, InterpreterBuildOptions.vanilla())
+        _eng, optimized = _run(
+            source, InterpreterBuildOptions(symbolic_pointer_avoidance=True)
+        )
+        assert optimized.ll_paths <= vanilla.ll_paths
+        assert optimized.ll_paths == 1
+
+    def test_all_builds_agree_on_hl_semantics(self):
+        """Build options must never change the observable language."""
+        source = '''
+s = sym_string("ab")
+if s.startswith("x"):
+    print(1)
+else:
+    print(0)
+'''
+        outputs = []
+        for level in range(4):
+            _eng, result = _run(
+                source, InterpreterBuildOptions.cumulative(level), budget=4.0
+            )
+            outputs.append({tuple(c.output) for c in result.hl_test_cases})
+        assert all(o == {(1, 0), (1, 1)} for o in outputs), outputs
+
+
+class TestExceptionPaths:
+    def test_exception_and_normal_paths_both_found(self):
+        source = '''
+data = sym_string("\\x00\\x00")
+value = int(data)
+print(value)
+'''
+        engine, result = _run(source, InterpreterBuildOptions.full())
+        names = {
+            engine.exception_name(t) for t in result.suite.exceptions()
+        }
+        assert "ValueError" in names  # non-digit input
+        clean = [c for c in result.hl_test_cases if c.exception_type is None]
+        assert clean, "a digit-only input must be synthesised"
+        digits = clean[0].input_string("b0")
+        assert digits.strip().lstrip("-").isdigit()
+
+    def test_caught_exceptions_do_not_escape(self):
+        source = '''
+data = sym_string("\\x00")
+try:
+    v = int(data)
+    print(1)
+except ValueError:
+    print(0)
+'''
+        _eng, result = _run(source, InterpreterBuildOptions.full())
+        assert not result.suite.exceptions()
+        outputs = {tuple(c.output) for c in result.hl_test_cases}
+        assert (1, 0) in outputs and (1, 1) in outputs
+
+
+class TestNativeExtension:
+    def test_symbolic_execution_reaches_into_native_code(self):
+        """§6.1: the regex-lite module is 'native' Clay code below the
+        HLPC level; Chef still synthesises matching inputs through it."""
+        source = '''
+s = sym_string("\\x00\\x00\\x00")
+if re_match("a.c", s):
+    print(1)
+else:
+    print(0)
+'''
+        _eng, result = _run(source, InterpreterBuildOptions.full(), budget=8.0)
+        matching = [c for c in result.hl_test_cases if c.output == [1, 1]]
+        assert matching
+        text = matching[0].input_string("b0")
+        assert text[0] == "a" and text[2] == "c"

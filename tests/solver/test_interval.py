@@ -1,0 +1,88 @@
+"""Interval arithmetic: units plus a soundness property test."""
+
+from hypothesis import given, strategies as st
+
+from repro.lowlevel.expr import Sym, evaluate, mk_binop, mk_unop
+from repro.solver.interval import Interval, interval_eval
+
+
+class TestIntervalBasics:
+    def test_exact_and_contains(self):
+        iv = Interval.exact(5)
+        assert iv.is_exact() and iv.contains(5) and not iv.contains(6)
+
+    def test_intersect(self):
+        assert Interval(0, 10).intersect(Interval(5, 20)) == Interval(5, 10)
+        assert Interval(0, 10).intersect(Interval(None, 3)) == Interval(0, 3)
+
+    def test_empty(self):
+        assert Interval(5, 3).is_empty()
+        assert not Interval(3, 3).is_empty()
+
+    def test_unbounded_repr(self):
+        assert "inf" in repr(Interval.top())
+
+
+class TestIntervalEval:
+    def test_variable_uses_domain(self):
+        x = Sym("iv_x", 10, 20)
+        iv = interval_eval(x, {"iv_x": (10, 20)})
+        assert iv == Interval(10, 20)
+
+    def test_env_overrides_domain(self):
+        x = Sym("iv_y", 0, 255)
+        iv = interval_eval(x, {"iv_y": (0, 255)}, env={"iv_y": 7})
+        assert iv == Interval.exact(7)
+
+    def test_comparison_decided_by_disjoint_ranges(self):
+        x = Sym("iv_z", 0, 9)
+        cond = mk_binop("lt", x, 100)
+        iv = interval_eval(cond, {"iv_z": (0, 9)})
+        assert iv == Interval.exact(1)
+
+    def test_mod_bounds(self):
+        x = Sym("iv_m", 0, 255)
+        iv = interval_eval(mk_binop("mod", x, 8), {"iv_m": (0, 255)})
+        assert iv.lo == 0 and iv.hi == 7
+
+    def test_mul_corners(self):
+        x = Sym("iv_mul", -3, 4)
+        iv = interval_eval(mk_binop("mul", x, -2), {"iv_mul": (-3, 4)})
+        assert iv == Interval(-8, 6)
+
+
+_domain = st.tuples(st.integers(-50, 50), st.integers(-50, 50)).map(
+    lambda t: (min(t), max(t))
+)
+_op = st.sampled_from(
+    ["add", "sub", "mul", "mod", "eq", "ne", "lt", "le", "gt", "ge",
+     "and", "or", "xor", "land", "lor"]
+)
+
+
+@given(dom=_domain, value_frac=st.floats(0, 1), op=_op, const=st.integers(-20, 20))
+def test_interval_eval_is_sound(dom, value_frac, op, const):
+    """Every concrete evaluation must fall inside the computed interval."""
+    lo, hi = dom
+    value = lo + int(value_frac * (hi - lo))
+    name = f"iv_p_{lo}_{hi}"
+    x = Sym(name, lo, hi)
+    if op == "mod" and const == 0:
+        const = 1
+    expr = mk_binop(op, x, const)
+    iv = interval_eval(expr, {name: (lo, hi)})
+    concrete = evaluate(expr, {name: value})
+    assert iv.contains(concrete), (op, lo, hi, value, const, iv, concrete)
+
+
+@given(dom=_domain, value_frac=st.floats(0, 1),
+       op=st.sampled_from(["neg", "bnot", "lnot"]))
+def test_unary_interval_is_sound(dom, value_frac, op):
+    lo, hi = dom
+    value = lo + int(value_frac * (hi - lo))
+    name = f"iv_u_{lo}_{hi}"
+    x = Sym(name, lo, hi)
+    expr = mk_unop(op, x)
+    iv = interval_eval(expr, {name: (lo, hi)})
+    concrete = evaluate(expr, {name: value})
+    assert iv.contains(concrete)

@@ -1,0 +1,44 @@
+"""Public API smoke tests (the README quickstart must work)."""
+
+import repro
+
+
+def test_exports():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_readme_quickstart_flow():
+    engine = repro.MiniPyEngine(
+        '''
+def check(s):
+    if s.find("@") < 1:
+        raise ValueError("bad")
+    return 1
+
+data = sym_string("\\x00\\x00\\x00")
+print(check(data))
+''',
+        repro.ChefConfig(strategy="cupa-path", seed=0, time_budget=5.0),
+    )
+    result = engine.run()
+    assert result.hl_paths >= 2
+    exceptional = [c for c in result.hl_test_cases if c.exception_type is not None]
+    clean = [c for c in result.hl_test_cases if c.exception_type is None]
+    assert exceptional and clean
+    for case in result.hl_test_cases:
+        replay = engine.replay(case)
+        assert replay.output == case.output
+
+
+def test_lua_engine_exported():
+    engine = repro.MiniLuaEngine(
+        "print(1 + 1)", repro.ChefConfig(time_budget=10.0)
+    )
+    result = engine.run()
+    assert result.suite.cases[0].output == [1, 2]
+
+
+def test_build_options_exported():
+    opts = repro.InterpreterBuildOptions.full()
+    assert opts.hash_neutralization

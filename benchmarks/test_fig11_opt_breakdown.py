@@ -11,8 +11,13 @@ optimizations hurt; we assert only that optimized builds collectively
 beat the unoptimized one.
 """
 
-from repro.bench.harness import BenchSettings, run_package
-from repro.bench.reporting import fig11_rows, render_table
+from repro.bench.harness import (
+    SOLVER_STAT_KEYS,
+    BenchSettings,
+    run_package,
+    sum_solver_stats,
+)
+from repro.bench.reporting import fig11_rows, render_table, solver_stats_rows
 from repro.chef.options import InterpreterBuildOptions
 from repro.targets import python_targets
 
@@ -31,6 +36,7 @@ def test_fig11_optimization_breakdown(benchmark, settings: BenchSettings, report
 
     def run():
         results = {}
+        package_runs = []
         for package in packages:
             by_level = {}
             for level in range(4):
@@ -45,10 +51,11 @@ def test_fig11_optimization_breakdown(benchmark, settings: BenchSettings, report
                     measure_coverage=False,
                 )
                 by_level[level] = float(result.hl_paths)
+                package_runs.append(result)
             results[package.name] = by_level
-        return results
+        return results, package_runs
 
-    per_build = benchmark.pedantic(run, rounds=1, iterations=1)
+    per_build, package_runs = benchmark.pedantic(run, rounds=1, iterations=1)
 
     rows = fig11_rows(per_build, labels)
     report(
@@ -58,9 +65,21 @@ def test_fig11_optimization_breakdown(benchmark, settings: BenchSettings, report
             ["Package"] + [labels[i] for i in range(4)], rows
         ),
     )
+    report(
+        "Solver counters for the Fig. 11 workload (incremental reuse)",
+        render_table(
+            ["Config"] + list(SOLVER_STAT_KEYS), solver_stats_rows(package_runs)
+        ),
+    )
 
     total_none = sum(levels[0] for levels in per_build.values())
     total_best = sum(max(levels.values()) for levels in per_build.values())
     assert total_best > total_none, (
         f"optimized builds ({total_best}) must beat vanilla ({total_none})"
     )
+    # The incremental constraint-set architecture must show actual reuse
+    # on this workload: sibling activations share path-condition prefixes.
+    totals = sum_solver_stats(package_runs)
+    assert totals["incremental_hits"] > 0, totals
+    assert totals["component_cache_hits"] > 0, totals
+    assert totals["atoms_sliced"] > 0, totals

@@ -58,6 +58,9 @@ class PackageRun:
     crashes: int = 0
     duration: float = 0.0
     timeline: List[Tuple[float, int, int]] = field(default_factory=list)
+    #: backend counters (queries, incremental_hits, component_cache_hits,
+    #: atoms_sliced, search_steps, ...) for solver-regression tracking.
+    solver_stats: Dict[str, int] = field(default_factory=dict)
 
 
 def run_package(
@@ -104,6 +107,7 @@ def run_package(
         crashes=len(result.suite.crashes()),
         duration=result.duration,
         timeline=list(result.timeline),
+        solver_stats=dict(result.solver_stats),
     )
 
 
@@ -142,6 +146,26 @@ def run_matrix(
 
 def mean(values: List[float]) -> float:
     return sum(values) / len(values) if values else 0.0
+
+
+#: solver counters benchmarks report (incremental-solving visibility).
+SOLVER_STAT_KEYS = (
+    "queries",
+    "search_steps",
+    "incremental_hits",
+    "component_cache_hits",
+    "atoms_sliced",
+    "cex_reuses",
+)
+
+
+def sum_solver_stats(runs: List[PackageRun], keys=SOLVER_STAT_KEYS) -> Dict[str, int]:
+    """Total solver counters over a set of runs (regressions show here)."""
+    totals: Dict[str, int] = {k: 0 for k in keys}
+    for run in runs:
+        for key in keys:
+            totals[key] += int(run.solver_stats.get(key, 0))
+    return totals
 
 
 def aggregate(runs: List[PackageRun], package: str, config: str) -> Dict[str, float]:

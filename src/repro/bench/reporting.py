@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-from repro.bench.harness import PackageRun, aggregate
+from repro.bench.harness import SOLVER_STAT_KEYS, PackageRun, aggregate, sum_solver_stats
 
 
 def render_table(headers: Sequence[str], rows: List[Sequence[object]]) -> str:
@@ -82,6 +82,29 @@ def fig11_rows(
         for level in range(4):
             row.append(f"{100.0 * by_level.get(level, 0.0) / full:7.1f}%")
         rows.append(row)
+    return rows
+
+
+def solver_stats_rows(
+    runs: List[PackageRun], keys: Sequence[str] = SOLVER_STAT_KEYS
+) -> List[List[object]]:
+    """Per-config totals of the incremental-solving counters.
+
+    One row per configuration appearing in ``runs`` (plus a Total row),
+    making solver-time regressions — more search steps, less reuse —
+    visible in every benchmark report.
+    """
+    configs: List[str] = []
+    for run in runs:
+        if run.config not in configs:
+            configs.append(run.config)
+    rows: List[List[object]] = []
+    for config in configs:
+        totals = sum_solver_stats([r for r in runs if r.config == config], keys)
+        rows.append([config] + [totals[k] for k in keys])
+    if len(configs) > 1:
+        totals = sum_solver_stats(runs, keys)
+        rows.append(["Total"] + [totals[k] for k in keys])
     return rows
 
 

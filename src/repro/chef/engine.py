@@ -23,7 +23,8 @@ from repro.lowlevel import api
 from repro.lowlevel.executor import ExecutorConfig, LowLevelEngine, State
 from repro.lowlevel.machine import Status
 from repro.lowlevel.program import Program
-from repro.solver.csp import CspSolver
+from repro.solver.backend import SolverBackend
+from repro.solver.csp import make_default_solver
 
 
 @dataclass
@@ -66,10 +67,10 @@ class Chef:
         self,
         program: Program,
         config: Optional[ChefConfig] = None,
-        solver: Optional[CspSolver] = None,
+        solver: Optional[SolverBackend] = None,
     ):
         self.config = config if config is not None else ChefConfig()
-        self.solver = solver if solver is not None else CspSolver(
+        self.solver: SolverBackend = solver if solver is not None else make_default_solver(
             budget=self.config.solver_budget
         )
         self.tree = HighLevelTree()
@@ -135,6 +136,7 @@ class Chef:
             hl_instr_count=state.hl_instr_count,
             ll_instr_count=state.instr_count,
             wall_time=time.monotonic() - self._start_time,
+            path_constraints=state.path_condition,
         )
         self.suite.add(case)
         if self._ll_paths % max(self.config.sample_every, 1) == 0:
@@ -147,6 +149,7 @@ class Chef:
     def run(self) -> RunResult:
         """Explore until the time/path budget is exhausted."""
         config = self.config
+        self._cache_stats_start = self._cache_stats_snapshot()
         self._start_time = time.monotonic()
         self.ll.config.deadline = self._start_time + config.time_budget
         state = self.ll.new_state()
@@ -169,7 +172,7 @@ class Chef:
             duration=duration,
             timeline=list(self._timeline),
             engine_stats=self.ll.stats.as_dict(),
-            solver_stats=self.solver.stats.as_dict(),
+            solver_stats=self._solver_stats(),
             cfg_nodes=self.cfg.node_count(),
             cfg_edges=self.cfg.edge_count(),
             tree_nodes=self.tree.node_count(),
@@ -177,6 +180,25 @@ class Chef:
             states_created=self.ll._next_sid,
             tags=dict(config.tags or {}),
         )
+
+    def _cache_stats_snapshot(self) -> Dict[str, int]:
+        cache = getattr(self.solver, "cache", None)
+        if cache is None or not hasattr(cache, "stats_dict"):
+            return {}
+        return dict(cache.stats_dict())
+
+    def _solver_stats(self) -> Dict[str, int]:
+        """Backend counters plus this run's model-cache activity.
+
+        Default backends share the process-wide cache, so its counters
+        are reported as deltas against the snapshot taken at run start
+        — absolute values would be cumulative across runs.
+        """
+        stats = dict(self.solver.stats.as_dict())
+        start = getattr(self, "_cache_stats_start", {})
+        for key, value in self._cache_stats_snapshot().items():
+            stats[f"cache_{key}"] = value - start.get(key, 0)
+        return stats
 
     def _budget_exhausted(self) -> bool:
         config = self.config

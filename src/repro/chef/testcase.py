@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.solver.constraints import ConstraintSet
+
 
 @dataclass
 class TestCase:
@@ -37,6 +39,15 @@ class TestCase:
     ll_instr_count: int = 0
     #: wall-clock seconds since the run started when this test completed.
     wall_time: float = 0.0
+    #: the path condition the inputs satisfy (shares structure with the
+    #: engine's constraint chains; lets downstream tooling re-query the
+    #: solver — e.g. to diversify inputs along the same path).
+    path_constraints: Optional[ConstraintSet] = None
+
+    @property
+    def pc_atoms(self) -> int:
+        """Number of path-condition atoms behind this test (0 if unknown)."""
+        return len(self.path_constraints) if self.path_constraints is not None else 0
 
     def input_string(self, name: str) -> str:
         """Decode a buffer as a byte string (lossy for non-ASCII)."""

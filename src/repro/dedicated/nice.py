@@ -24,11 +24,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.errors import ReproError, SolverTimeout
+from repro.errors import ReproError
 from repro.interpreters.minipy.bytecode import BinOp, CodeObject, CompiledModule, Op, UnOp
 from repro.interpreters.minipy.compiler import compile_source
 from repro.lowlevel.expr import Expr, Sym, evaluate, mk_binop, negate_condition, truth_condition
-from repro.solver.csp import CspSolver
+from repro.solver.backend import SolverBackend
+from repro.solver.constraints import ConstraintSet
+from repro.solver.csp import make_default_solver
 
 
 class UnsupportedFeature(ReproError):
@@ -96,12 +98,12 @@ class DedicatedNiceEngine:
         self,
         source: str,
         legacy_not_bug: bool = False,
-        solver: Optional[CspSolver] = None,
+        solver: Optional[SolverBackend] = None,
         instr_budget: int = 400_000,
     ):
         self.module: CompiledModule = compile_source(source)
         self.legacy_not_bug = legacy_not_bug
-        self.solver = solver if solver is not None else CspSolver()
+        self.solver: SolverBackend = solver if solver is not None else make_default_solver()
         self.instr_budget = instr_budget
         self._var_counter = 0
         # Unique prefix per instance: the global Sym registry pins a
@@ -143,25 +145,35 @@ class DedicatedNiceEngine:
                 continue
             seen.add(signature)
             tests.append(dict(assignment))
+            # Build the trace's path condition as one share-structure
+            # chain; every negation query below extends a prefix of it.
+            chain: List[ConstraintSet] = [ConstraintSet.empty()]
+            for c, t in trace.records:
+                node = chain[-1].append(
+                    truth_condition(c) if t else negate_condition(c)
+                )
+                # The recorded run satisfied every prefix of its own
+                # trace — let the backend answer incrementally.  Not in
+                # legacy-bug mode: there the recorded polarity is wrong
+                # by design, so the assignment is *not* a model.
+                if not self.legacy_not_bug:
+                    node.note_model(assignment)
+                chain.append(node)
             # Expand: negate each suffix branch (deepest-first).
             for index in range(len(trace.records) - 1, -1, -1):
                 cond, taken = trace.records[index]
-                prefix = []
-                for c, t in trace.records[:index]:
-                    prefix.append(truth_condition(c) if t else negate_condition(c))
-                prefix.append(negate_condition(cond) if taken else truth_condition(cond))
-                key = tuple(id(p) if isinstance(p, Expr) else p for p in prefix)
+                query = chain[index].append(
+                    negate_condition(cond) if taken else truth_condition(cond)
+                )
+                key = query.key()
                 if key in queued:
                     continue
                 queued.add(key)
-                try:
-                    solution = self.solver.solve(prefix, hint=assignment)
-                except SolverTimeout:
-                    continue
-                if solution is None:
+                result = self.solver.check(query, hint=assignment)
+                if not result.is_sat:
                     continue
                 merged = dict(assignment)
-                merged.update(solution)
+                merged.update(result.model)
                 worklist.append(merged)
         return DedicatedResult(
             paths=len(seen),

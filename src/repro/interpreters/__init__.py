@@ -11,3 +11,21 @@ Each language ships four pieces, mirroring the paper's case studies (§5):
   (the paper replays tests in a vanilla interpreter),
 - an engine facade that wires image loading, build options and Chef.
 """
+
+from __future__ import annotations
+
+import pathlib
+
+#: Where the Clay translation units of the guest interpreters live.
+CLAY_SRC_DIR = pathlib.Path(__file__).resolve().parent / "clay_src"
+
+
+def clay_sources_available() -> bool:
+    """True when the Clay interpreter sources are present in the tree.
+
+    The seed snapshot is missing ``clay_src/`` entirely (see ROADMAP
+    open items), which makes every end-to-end Chef run impossible; test
+    and benchmark modules that need a guest interpreter use this to skip
+    with an explicit reason instead of failing on a FileNotFoundError.
+    """
+    return (CLAY_SRC_DIR / "rt_core.clay").is_file()

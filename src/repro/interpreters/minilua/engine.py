@@ -13,6 +13,7 @@ from repro.interpreters.minilua.hostvm import LuaHostVM, LuaRunResult
 from repro.interpreters.minipy.engine import compiled_interpreter
 from repro.interpreters.minipy.image import build_image
 from repro.lowlevel.program import Program
+from repro.solver.backend import SolverBackend
 
 #: translation units of the Lua interpreter (shared runtime + Lua loop).
 MINILUA_CLAY_FILES = (
@@ -37,9 +38,15 @@ class _LuaImageModule:
 class MiniLuaEngine:
     """A Chef-generated symbolic execution engine for MiniLua."""
 
-    def __init__(self, source: str, config: Optional[ChefConfig] = None):
+    def __init__(
+        self,
+        source: str,
+        config: Optional[ChefConfig] = None,
+        solver: Optional[SolverBackend] = None,
+    ):
         self.source = source
         self.config = config if config is not None else ChefConfig()
+        self.solver = solver
         self.module: LuaModule = compile_lua(source)
         self._clay = compiled_interpreter(MINILUA_CLAY_FILES)
 
@@ -56,7 +63,7 @@ class MiniLuaEngine:
         return program
 
     def make_chef(self) -> Chef:
-        return Chef(self.build_program(), self.config)
+        return Chef(self.build_program(), self.config, solver=self.solver)
 
     def run(self) -> RunResult:
         return self.make_chef().run()

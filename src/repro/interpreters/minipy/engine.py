@@ -23,6 +23,7 @@ from repro.interpreters.minipy.compiler import compile_source
 from repro.interpreters.minipy.hostvm import HostRunResult, HostVM
 from repro.interpreters.minipy.image import build_image
 from repro.lowlevel.program import Program
+from repro.solver.backend import SolverBackend
 
 _CLAY_DIR = pathlib.Path(__file__).resolve().parent.parent / "clay_src"
 
@@ -56,9 +57,15 @@ def compiled_interpreter(files=MINIPY_CLAY_FILES) -> CompiledClay:
 class MiniPyEngine:
     """A Chef-generated symbolic execution engine for MiniPy."""
 
-    def __init__(self, source: str, config: Optional[ChefConfig] = None):
+    def __init__(
+        self,
+        source: str,
+        config: Optional[ChefConfig] = None,
+        solver: Optional[SolverBackend] = None,
+    ):
         self.source = source
         self.config = config if config is not None else ChefConfig()
+        self.solver = solver
         self.module: CompiledModule = compile_source(source)
         self._clay = compiled_interpreter()
 
@@ -81,7 +88,7 @@ class MiniPyEngine:
     # -- symbolic execution ------------------------------------------------------
 
     def make_chef(self) -> Chef:
-        return Chef(self.build_program(), self.config)
+        return Chef(self.build_program(), self.config, solver=self.solver)
 
     def run(self) -> RunResult:
         return self.make_chef().run()

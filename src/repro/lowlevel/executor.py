@@ -19,7 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import GuestFault, SolverTimeout
+from repro.errors import GuestFault
 from repro.lowlevel import api
 from repro.lowlevel.expr import (
     Expr,
@@ -33,7 +33,9 @@ from repro.lowlevel.expr import (
 )
 from repro.lowlevel.machine import MachineState, Status
 from repro.lowlevel.program import Opcode, Program
-from repro.solver.csp import CspSolver
+from repro.solver.backend import SolverBackend
+from repro.solver.constraints import ConstraintSet
+from repro.solver.csp import make_default_solver
 
 _CONCRETE_BIN = {
     "add": lambda a, b: a + b,
@@ -98,7 +100,7 @@ class State:
     def __init__(self, sid: int, machine: MachineState):
         self.sid = sid
         self.machine = machine
-        self.path_condition: List = []
+        self.path_condition: ConstraintSet = ConstraintSet.empty()
         self.assignment: Optional[Dict[str, int]] = {}
         self.seed_assignment: Dict[str, int] = {}
         self.pending = False
@@ -146,7 +148,15 @@ class State:
 
     def add_constraint(self, atom) -> None:
         if isinstance(atom, Expr):
-            self.path_condition.append(atom)
+            self.path_condition = self.path_condition.append(atom)
+            # Concolic invariant: every atom this state adds holds under
+            # its own concrete assignment (conc() filled in the atom's
+            # variables while deciding which way to go), so the extended
+            # set is satisfiable by construction — record the model so
+            # the solver can answer sibling/descendant queries
+            # incrementally instead of re-solving the whole chain.
+            if self.assignment is not None:
+                self.path_condition.note_model(self.assignment)
 
     def input_values(self) -> Dict[str, List[int]]:
         """Concrete content of every symbolic buffer (the test case).
@@ -194,13 +204,13 @@ class LowLevelEngine:
     def __init__(
         self,
         program: Program,
-        solver: Optional[CspSolver] = None,
+        solver: Optional[SolverBackend] = None,
         config: Optional[ExecutorConfig] = None,
     ):
         if not program.finalized:
             program.finalize()
         self.program = program
-        self.solver = solver if solver is not None else CspSolver()
+        self.solver: SolverBackend = solver if solver is not None else make_default_solver()
         self.config = config if config is not None else ExecutorConfig()
         self.stats = EngineStats()
         self._next_sid = 0
@@ -229,9 +239,11 @@ class LowLevelEngine:
 
     def _fork(self, parent: State, alt_atom, alt_target: Optional[int]) -> State:
         child = State(self._fresh_sid(), parent.machine.fork())
-        child.path_condition = list(parent.path_condition)
+        # Structural sharing: the child's path condition extends the
+        # parent's chain in place — no per-fork copying of the prefix.
+        child.path_condition = parent.path_condition
         if isinstance(alt_atom, Expr):
-            child.path_condition.append(alt_atom)
+            child.path_condition = child.path_condition.append(alt_atom)
         child.assignment = None
         child.seed_assignment = dict(parent.assignment or {})
         child.pending = True
@@ -266,22 +278,21 @@ class LowLevelEngine:
         """
         if not state.pending:
             return "sat"
-        try:
-            solution = self.solver.solve(
-                state.path_condition, hint=state.seed_assignment
-            )
-        except SolverTimeout:
+        result = self.solver.check(
+            state.path_condition, hint=state.seed_assignment
+        )
+        if result.is_unknown:
             state.pending = False
             state.machine.status = Status.SOLVER_TIMEOUT
             self.stats.states_timeout += 1
             return "timeout"
-        if solution is None:
+        if result.is_unsat:
             state.pending = False
             state.machine.status = Status.INFEASIBLE
             self.stats.states_infeasible += 1
             return "unsat"
         assignment = dict(state.seed_assignment)
-        assignment.update(solution)
+        assignment.update(result.model)
         state.assignment = assignment
         state.pending = False
         state._conc_memo = {}
@@ -466,20 +477,18 @@ class LowLevelEngine:
         # Bounded enumeration of alternative targets (§4.2).
         known = [conc_addr]
         for _ in range(self.config.symptr_fork_limit):
-            probe = list(state.path_condition)
-            probe.extend(mk_binop("ne", addr_val, v) for v in known)
-            try:
-                solution = self.solver.solve(
-                    probe,
-                    hint=state.assignment,
-                    budget=self.config.symptr_solver_budget,
-                )
-            except SolverTimeout:
-                break
-            if solution is None:
+            probe = state.path_condition.extend(
+                mk_binop("ne", addr_val, v) for v in known
+            )
+            result = self.solver.check(
+                probe,
+                hint=state.assignment,
+                budget=self.config.symptr_solver_budget,
+            )
+            if not result.is_sat:
                 break
             env = dict(state.seed_assignment)
-            env.update(solution)
+            env.update(result.model)
             other = evaluate(addr_val, env)
             child = self._fork(state, mk_binop("eq", addr_val, other), None)
             pending.append(child)

@@ -1,20 +1,45 @@
-"""Constraint solver for path conditions (the STP stand-in).
+"""Constraint solving for path conditions (the STP stand-in).
 
-The solver decides satisfiability of path conditions over the finite-domain
-symbolic input variables created by ``make_symbolic``.  It combines interval
-propagation with backtracking search (:mod:`repro.solver.csp`), memoises
-results (:mod:`repro.solver.cache`) and exposes an optimisation query used
-by the ``upper_bound`` guest API call.
+The layer is split along the seam a real SMT solver would drop into:
+
+- :mod:`repro.solver.constraints` — :class:`ConstraintSet`, the
+  immutable share-structure path-condition representation every engine
+  layer passes around,
+- :mod:`repro.solver.backend` — the :class:`SolverBackend` protocol
+  (``check``/``max_value`` over constraint sets) all consumers target,
+- :mod:`repro.solver.csp` — the built-in finite-domain backend
+  (interval propagation + backtracking search),
+- :mod:`repro.solver.cache` — the engine-wide component-sliced
+  counterexample/model cache shared by default backends,
+- :mod:`repro.solver.interval` — interval arithmetic used for domain
+  propagation and the ``upper_bound`` guest API.
 """
 
+from repro.solver.backend import CheckResult, SAT, SolverBackend, UNKNOWN, UNSAT
+from repro.solver.cache import (
+    ModelCache,
+    SolverCache,
+    global_model_cache,
+    reset_global_model_cache,
+)
+from repro.solver.constraints import ConstraintSet
+from repro.solver.csp import CspSolver, SolverStats, make_default_solver
 from repro.solver.interval import Interval, interval_eval
-from repro.solver.csp import CspSolver, SolverStats
-from repro.solver.cache import SolverCache
 
 __all__ = [
+    "CheckResult",
+    "ConstraintSet",
     "CspSolver",
     "Interval",
+    "ModelCache",
+    "SAT",
+    "SolverBackend",
     "SolverCache",
     "SolverStats",
+    "UNKNOWN",
+    "UNSAT",
+    "global_model_cache",
     "interval_eval",
+    "make_default_solver",
+    "reset_global_model_cache",
 ]

@@ -1,60 +1,190 @@
-"""Query caching for the constraint solver.
+"""Engine-wide counterexample/model cache with component-sliced keys.
 
-Two classic optimisations from the KLEE lineage:
+The KLEE lineage caches solver results two ways; both are reproduced
+here, but keyed on *independence components* rather than whole queries.
+The solver splits each normalised query into connected components of the
+atom/variable graph and consults the cache per component, so one cached
+answer serves every future query that contains the same component —
+which, with interned atoms and share-structure constraint sets, is most
+of them.
 
-- a *query cache*: identical constraint sets (by interned expression
-  identity) resolve to their previous answer,
-- a *counterexample cache*: recent satisfying assignments are re-tested
-  against new queries before any search, because consecutive path
-  conditions usually differ by one constraint.
+Reuse rules (all sound):
+
+- **exact**: the same atom set was answered before → same answer.
+- **subset-UNSAT**: a cached UNSAT key that is a *subset* of the query
+  is still contradictory inside the bigger query → UNSAT.
+- **superset-SAT**: a cached model for a *superset* of the query
+  satisfies every query atom (they are all in the superset) → SAT,
+  reuse the model.
+
+Keys are frozensets of interned-atom ids (structural identity is ``is``
+for interned expressions).  One process-wide instance backs every
+default solver, making the cache engine-wide: states, engines and runs
+share it.  Anything that invalidates interned ids — the expression
+intern table or the ``Sym`` registry being cleared — must reset it via
+:func:`reset_global_model_cache` (the test suite does this between
+tests).
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional
+from collections import OrderedDict
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from repro.lowlevel.expr import Expr
+
+#: Sentinel stored (and returned) for unsatisfiable entries.
 UNSAT = "unsat"
 
+#: Reuse kinds reported by :meth:`ModelCache.lookup`.
+HIT_EXACT = "exact"
+HIT_SUBSET_UNSAT = "subset-unsat"
+HIT_SUPERSET_SAT = "superset-sat"
 
-class SolverCache:
-    """Memoises query results keyed on the interned constraint set."""
 
-    def __init__(self, max_solutions: int = 64):
-        self._queries: Dict[FrozenSet[int], object] = {}
-        self._recent_solutions: List[Dict[str, int]] = []
-        self._max_solutions = max_solutions
+class ModelCache:
+    """Memoises per-component verdicts and recent satisfying models."""
+
+    def __init__(
+        self,
+        max_entries: int = 8192,
+        max_models: int = 64,
+        scan_limit: int = 128,
+    ):
+        #: key → model dict or UNSAT, most recently used last.
+        self._entries: "OrderedDict[FrozenSet[int], object]" = OrderedDict()
+        self._recent_models: List[Dict[str, int]] = []
+        self._max_entries = max_entries
+        self._max_models = max_models
+        self._scan_limit = scan_limit
         self.hits = 0
+        self.subset_hits = 0
+        self.superset_hits = 0
         self.misses = 0
+        self.stores = 0
 
     @staticmethod
-    def key_for(constraints) -> FrozenSet[int]:
-        return frozenset(id(c) for c in constraints)
+    def key_for(atoms) -> FrozenSet[int]:
+        """Cache key of an atom collection (interned-expression ids)."""
+        return frozenset(id(a) for a in atoms if isinstance(a, Expr))
 
-    def lookup(self, key: FrozenSet[int]):
-        """Return a cached result: a solution dict, UNSAT, or None (miss)."""
-        result = self._queries.get(key)
-        if result is None:
-            self.misses += 1
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, key: FrozenSet[int]) -> Optional[Tuple[str, object]]:
+        """Return ``(kind, result)`` or None on a miss.
+
+        ``result`` is a model dict or :data:`UNSAT`; ``kind`` is one of
+        the ``HIT_*`` constants.  Subset/superset scans are bounded to
+        the most recently used entries.
+        """
+        if not key:
             return None
-        self.hits += 1
-        return result
+        entries = self._entries
+        exact = entries.get(key)
+        if exact is not None:
+            entries.move_to_end(key)
+            self.hits += 1
+            return (HIT_EXACT, exact)
+        scanned = 0
+        for cached_key in reversed(entries):
+            if scanned >= self._scan_limit:
+                break
+            scanned += 1
+            result = entries[cached_key]
+            if result == UNSAT:
+                if cached_key <= key:
+                    entries.move_to_end(cached_key)
+                    self.subset_hits += 1
+                    return (HIT_SUBSET_UNSAT, UNSAT)
+            elif key <= cached_key:
+                entries.move_to_end(cached_key)
+                self.superset_hits += 1
+                return (HIT_SUPERSET_SAT, result)
+        self.misses += 1
+        return None
+
+    # -- store ----------------------------------------------------------------
 
     def store(self, key: FrozenSet[int], result) -> None:
-        self._queries[key] = result
+        """Record a verdict: a model dict or :data:`UNSAT`."""
+        if not key:
+            return
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        self.stores += 1
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
         if isinstance(result, dict):
             self.remember_solution(result)
 
     def remember_solution(self, solution: Dict[str, int]) -> None:
-        self._recent_solutions.append(dict(solution))
-        if len(self._recent_solutions) > self._max_solutions:
-            self._recent_solutions.pop(0)
+        """Keep a model for cross-query counterexample reuse."""
+        self._recent_models.append(dict(solution))
+        if len(self._recent_models) > self._max_models:
+            self._recent_models.pop(0)
 
     def candidate_solutions(self) -> List[Dict[str, int]]:
-        """Most-recent-first candidates for counterexample reuse."""
-        return list(reversed(self._recent_solutions))
+        """Most-recent-first models for counterexample reuse."""
+        return list(reversed(self._recent_models))
+
+    # -- maintenance -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
     def clear(self) -> None:
-        self._queries.clear()
-        self._recent_solutions.clear()
+        self._entries.clear()
+        self._recent_models.clear()
         self.hits = 0
+        self.subset_hits = 0
+        self.superset_hits = 0
         self.misses = 0
+        self.stores = 0
+
+    def stats_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "subset_hits": self.subset_hits,
+            "superset_hits": self.superset_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "entries": len(self._entries),
+        }
+
+
+#: Import-compatible alias for the pre-refactor class name ONLY — the
+#: method contract changed with the rewrite: ``lookup`` now returns a
+#: ``(kind, result)`` tuple (was a bare model/UNSAT/None) and ``store``
+#: ignores empty keys.  Code written against the seed-era SolverCache
+#: API must be ported, not just re-pointed.
+SolverCache = ModelCache
+
+_GLOBAL_CACHE: Optional[ModelCache] = None
+
+
+def global_model_cache() -> ModelCache:
+    """The process-wide cache shared by default solver instances."""
+    global _GLOBAL_CACHE
+    if _GLOBAL_CACHE is None:
+        _GLOBAL_CACHE = ModelCache()
+    return _GLOBAL_CACHE
+
+
+def reset_global_model_cache() -> None:
+    """Drop every cached verdict and model (tests call this between
+    tests, because clearing the expression intern table recycles the
+    ids the cache keys on)."""
+    if _GLOBAL_CACHE is not None:
+        _GLOBAL_CACHE.clear()
+
+
+__all__ = [
+    "HIT_EXACT",
+    "HIT_SUBSET_UNSAT",
+    "HIT_SUPERSET_SAT",
+    "ModelCache",
+    "SolverCache",
+    "UNSAT",
+    "global_model_cache",
+    "reset_global_model_cache",
+]

@@ -1,0 +1,235 @@
+"""Incremental, share-structure path-condition sets.
+
+A :class:`ConstraintSet` is an immutable chain of path-condition atoms:
+``child = parent.append(atom)`` shares the whole parent chain, so the N
+states alive during exploration hold O(N) atoms total instead of O(N^2)
+copied lists.  This is the engine-side half of incremental solving (the
+classic per-state constraint sets surveyed by Baldoni et al.): the solver
+sees *which atoms are new* relative to an ancestor that is already known
+to be satisfiable and only re-solves what those atoms touch.
+
+Each set memoizes, per node and computed lazily:
+
+- the free-variable *name index* (union of the parent's index and the
+  last atom's variables),
+- the partition of its atoms into independence *components* (connected
+  components of the atom/variable graph — atoms in different components
+  can be solved separately),
+- a *known model*: an assignment recorded by whoever proved or observed
+  this exact set satisfiable (the concolic executor knows its concrete
+  assignment satisfies every atom it appends; the solver records the
+  models it finds).
+
+The known-model contract: ``note_model(m)`` asserts that ``m``, completed
+with ``var.lo`` for any variable missing from it, satisfies **every**
+atom in this set.  Solvers use it two ways: re-check just the appended
+suffix atoms against the nearest ancestor model before any search, and
+adopt the ancestor model wholesale for components the suffix does not
+touch (independence slicing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from repro.lowlevel.expr import Expr
+
+Atom = object  #: an Expr, or a concrete int (trivially true/false)
+
+
+class ConstraintSet:
+    """One immutable node in a share-structure chain of atoms."""
+
+    __slots__ = ("parent", "atom", "_length", "_free", "_model", "_unsat", "_components")
+
+    _EMPTY: Optional["ConstraintSet"] = None
+
+    def __init__(self, parent: Optional["ConstraintSet"], atom: Optional[Atom]):
+        self.parent = parent
+        self.atom = atom
+        self._length = (parent._length + 1) if parent is not None else 0
+        self._free: Optional[FrozenSet[str]] = None
+        self._model: Optional[Dict[str, int]] = None
+        self._unsat = False
+        self._components: Optional[List[Tuple[FrozenSet[str], Tuple[Atom, ...]]]] = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "ConstraintSet":
+        """The shared empty set (root of every chain)."""
+        if cls._EMPTY is None:
+            cls._EMPTY = cls(None, None)
+            cls._EMPTY._free = frozenset()
+        return cls._EMPTY
+
+    @classmethod
+    def from_atoms(cls, atoms: Iterable[Atom]) -> "ConstraintSet":
+        """Build a fresh chain from an iterable of atoms."""
+        if isinstance(atoms, ConstraintSet):
+            return atoms
+        node = cls.empty()
+        for atom in atoms:
+            node = node.append(atom)
+        return node
+
+    def append(self, atom: Atom) -> "ConstraintSet":
+        """Return a new set extending this one by ``atom`` (shared tail)."""
+        return ConstraintSet(self, atom)
+
+    def extend(self, atoms: Iterable[Atom]) -> "ConstraintSet":
+        node = self
+        for atom in atoms:
+            node = node.append(atom)
+        return node
+
+    # -- basic views ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self.atoms())
+
+    def atoms(self) -> List[Atom]:
+        """All atoms, oldest first."""
+        out: List[Atom] = []
+        node = self
+        while node._length:
+            out.append(node.atom)
+            node = node.parent
+        out.reverse()
+        return out
+
+    def key(self) -> Tuple[int, ...]:
+        """Stable identity key (interned-atom ids, oldest first)."""
+        return tuple(id(a) if isinstance(a, Expr) else hash(("c", a)) for a in self.atoms())
+
+    def __repr__(self) -> str:
+        return f"ConstraintSet(|atoms|={self._length}, model={'yes' if self._model is not None else 'no'})"
+
+    # -- memoized free-variable index ----------------------------------------
+
+    @property
+    def free_names(self) -> FrozenSet[str]:
+        """Names of all symbolic variables occurring in the set (memoized)."""
+        free = self._free
+        if free is None:
+            base = self.parent.free_names
+            if isinstance(self.atom, Expr):
+                free = base | frozenset(v.name for v in self.atom.free_vars())
+            else:
+                free = base
+            self._free = free
+        return free
+
+    def domains(self) -> Dict[str, Tuple[int, int]]:
+        """Variable name → inclusive (lo, hi) domain over the set's atoms."""
+        out: Dict[str, Tuple[int, int]] = {}
+        for atom in self.atoms():
+            if isinstance(atom, Expr):
+                for var in atom.free_vars():
+                    out.setdefault(var.name, (var.lo, var.hi))
+        return out
+
+    # -- independence partitioning -------------------------------------------
+
+    def components(self) -> List[Tuple[FrozenSet[str], Tuple[Atom, ...]]]:
+        """Partition atoms into connected components of shared variables.
+
+        Returns ``[(names, atoms), ...]`` sorted smallest-first; atoms with
+        no free variables (concrete residues) are grouped under the empty
+        name set.  Memoized per node.
+        """
+        comps = self._components
+        if comps is None:
+            parent: Dict[str, str] = {}
+
+            def find(x: str) -> str:
+                while parent[x] != x:
+                    parent[x] = parent[parent[x]]
+                    x = parent[x]
+                return x
+
+            atom_list = self.atoms()
+            atom_names: List[List[str]] = []
+            for atom in atom_list:
+                if isinstance(atom, Expr):
+                    names = sorted(v.name for v in atom.free_vars())
+                else:
+                    names = []
+                atom_names.append(names)
+                for n in names:
+                    parent.setdefault(n, n)
+                for other in names[1:]:
+                    ra, rb = find(names[0]), find(other)
+                    if ra != rb:
+                        parent[rb] = ra
+
+            grouped: Dict[Optional[str], List[Atom]] = {}
+            members: Dict[Optional[str], set] = {}
+            for atom, names in zip(atom_list, atom_names):
+                root = find(names[0]) if names else None
+                grouped.setdefault(root, []).append(atom)
+                members.setdefault(root, set()).update(names)
+            comps = sorted(
+                (
+                    (frozenset(names), tuple(atoms))
+                    for names, atoms in (
+                        (members[root], grouped[root]) for root in grouped
+                    )
+                ),
+                key=lambda item: (len(item[0]), sorted(item[0])),
+            )
+            self._components = comps
+        return comps
+
+    # -- known models ---------------------------------------------------------
+
+    def note_model(self, model: Dict[str, int]) -> None:
+        """Record an assignment known to satisfy every atom in this set.
+
+        Contract: ``model`` completed with ``var.lo`` for missing variables
+        satisfies all atoms.  The dict is stored by reference; callers may
+        later *add* keys (the concolic executor lazily fills in fresh
+        variables) but must never change the value of an existing key.
+        """
+        self._model = model
+
+    @property
+    def model(self) -> Optional[Dict[str, int]]:
+        """The known satisfying assignment, if any."""
+        return self._model
+
+    def note_unsat(self) -> None:
+        """Record that this exact set was proven unsatisfiable."""
+        self._unsat = True
+
+    @property
+    def known_unsat(self) -> bool:
+        return self._unsat
+
+    def split_at_model(self) -> Tuple[Optional[Dict[str, int]], List[Atom], List[Atom]]:
+        """Split at the nearest ancestor carrying a known model.
+
+        Returns ``(model, prefix_atoms, suffix_atoms)``: ``prefix_atoms``
+        are the atoms of the model-bearing ancestor (satisfied by the
+        model, per the contract), ``suffix_atoms`` everything appended
+        since.  With no model anywhere, returns ``(None, [], all_atoms)``.
+        """
+        suffix: List[Atom] = []
+        node = self
+        while node._length:
+            if node._model is not None:
+                suffix.reverse()
+                return node._model, node.atoms(), suffix
+            suffix.append(node.atom)
+            node = node.parent
+        suffix.reverse()
+        return None, [], suffix
+
+
+__all__ = ["ConstraintSet"]

@@ -1,26 +1,35 @@
 """Backtracking CSP solver with interval propagation.
 
 This is the reproduction's constraint solver (the paper uses STP through
-S2E).  Path-condition atoms are integer expressions over finite-domain
-input variables; the solver decides satisfiability by:
+S2E), implementing the :class:`~repro.solver.backend.SolverBackend`
+protocol over :class:`~repro.solver.constraints.ConstraintSet` inputs.
+Path-condition atoms are integer expressions over finite-domain input
+variables; the solver decides satisfiability by:
 
-1. normalising atoms to comparisons,
-2. splitting the query into independent connected components,
-3. tightening per-variable domains from single-variable affine atoms,
-4. depth-first search with concrete checks and interval pruning.
+1. reusing the constraint set's known-model chain — a query whose atoms
+   extend an already-satisfied ancestor set first re-checks only the new
+   atoms against the ancestor's model (the incremental fast path),
+2. normalising atoms to comparisons,
+3. splitting the query into independent connected components, adopting
+   the ancestor model wholesale for components no new atom touches
+   (independence slicing) and consulting the engine-wide
+   :class:`~repro.solver.cache.ModelCache` per component,
+4. tightening per-variable domains from single-variable affine atoms,
+5. depth-first search with concrete checks and interval pruning.
 
 Search effort is budgeted in deterministic *steps*; exceeding the budget
-raises :class:`~repro.errors.SolverTimeout`, which the engine treats as a
-discarded state (the paper's completeness caveat, §3.1).  Hash-function
-constraints remain genuinely hard here, exactly as they are for STP —
-this preserves the motivation for the paper's hash-neutralisation
-optimisation (§4.2).
+raises :class:`~repro.errors.SolverTimeout` from :meth:`CspSolver.solve`
+(and surfaces as :data:`~repro.solver.backend.UNKNOWN` from
+:meth:`CspSolver.check`), which the engine treats as a discarded state
+(the paper's completeness caveat, §3.1).  Hash-function constraints
+remain genuinely hard here, exactly as they are for STP — this preserves
+the motivation for the paper's hash-neutralisation optimisation (§4.2).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import SolverTimeout
 from repro.lowlevel.expr import (
@@ -33,7 +42,13 @@ from repro.lowlevel.expr import (
     mk_binop,
     negate_condition,
 )
-from repro.solver.cache import UNSAT, SolverCache
+from repro.solver.backend import CheckResult, SAT, SolverBackend, UNKNOWN, UNSAT
+from repro.solver.cache import (
+    ModelCache,
+    UNSAT as UNSAT_ENTRY,
+    global_model_cache,
+)
+from repro.solver.constraints import ConstraintSet
 from repro.solver.interval import Interval, interval_eval
 
 #: Default search budget (value-assignment attempts per query).
@@ -41,6 +56,8 @@ DEFAULT_BUDGET = 12_000
 
 #: Cap used by max_value when nothing bounds the expression.
 DEFAULT_MAX_CAP = 1 << 20
+
+Constraints = Union[ConstraintSet, Sequence]
 
 
 @dataclass
@@ -54,6 +71,13 @@ class SolverStats:
     search_steps: int = 0
     cex_reuses: int = 0
     max_value_queries: int = 0
+    #: queries answered (fully or partly) from a known ancestor model.
+    incremental_hits: int = 0
+    #: components resolved from the engine-wide model cache.
+    component_cache_hits: int = 0
+    #: atoms never (re)solved because independence slicing adopted the
+    #: ancestor model for their whole component.
+    atoms_sliced: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -227,23 +251,58 @@ def _bound_from_atom(atom: Expr) -> Optional[Tuple[str, Interval, bool]]:
     return None
 
 
-class CspSolver:
-    """Finite-domain solver over symbolic input variables."""
+def _holds(atom, env: Dict[str, int], memo: dict) -> bool:
+    """True when ``atom`` is satisfied (nonzero) under ``env``."""
+    if not isinstance(atom, Expr):
+        return atom != 0
+    return evaluate(atom, env, memo) != 0
+
+
+class CspSolver(SolverBackend):
+    """Finite-domain solver over symbolic input variables.
+
+    By default every instance shares the process-wide
+    :func:`~repro.solver.cache.global_model_cache`, so component verdicts
+    flow between engines; pass an explicit ``cache`` to isolate one.
+    ``incremental=False`` reproduces the seed's solve-from-scratch
+    behaviour: no known-model reads, no chain annotation, no ancestor
+    fast path, no independence slicing (used for A/B measurement and
+    regression tests; the component cache is disabled separately by
+    passing an empty-bounded ``ModelCache``).
+    """
 
     def __init__(
         self,
         budget: int = DEFAULT_BUDGET,
-        cache: Optional[SolverCache] = None,
+        cache: Optional[ModelCache] = None,
+        incremental: bool = True,
     ):
         self.budget = budget
-        self.cache = cache if cache is not None else SolverCache()
+        self.cache = cache if cache is not None else global_model_cache()
+        self.incremental = incremental
         self.stats = SolverStats()
 
-    # -- public API ---------------------------------------------------------
+    # -- SolverBackend protocol ---------------------------------------------
+
+    def check(
+        self,
+        constraints: Constraints,
+        hint: Optional[Dict[str, int]] = None,
+        budget: Optional[int] = None,
+    ) -> CheckResult:
+        """Decide satisfiability; UNKNOWN when the budget runs out."""
+        try:
+            model = self._solve_set(self._as_set(constraints), hint, budget)
+        except SolverTimeout:
+            self.stats.timeouts += 1
+            return CheckResult(UNKNOWN)
+        if model is None:
+            return CheckResult(UNSAT)
+        return CheckResult(SAT, model)
 
     def solve(
         self,
-        constraints: Sequence,
+        constraints: Constraints,
         hint: Optional[Dict[str, int]] = None,
         budget: Optional[int] = None,
     ) -> Optional[Dict[str, int]]:
@@ -253,56 +312,21 @@ class CspSolver:
         The assignment covers every variable occurring in the constraints.
         ``budget`` overrides the solver-wide step budget for this query.
         """
-        self.stats.queries += 1
-        atoms = _normalise(constraints)
-        if atoms is None:
-            self.stats.unsat += 1
-            return None
-        if not atoms:
-            self.stats.sat += 1
-            return dict(hint) if hint else {}
-
-        key = SolverCache.key_for(atoms)
-        cached = self.cache.lookup(key)
-        if cached is not None:
-            if cached is UNSAT:
-                self.stats.unsat += 1
-                return None
-            self.stats.sat += 1
-            return dict(cached)
-
-        domains = self._initial_domains(atoms)
-
-        # Counterexample reuse: try recent solutions before searching.
-        reuse = self._try_recent_solutions(atoms, domains, hint)
-        if reuse is not None:
-            self.stats.sat += 1
-            self.stats.cex_reuses += 1
-            self.cache.store(key, reuse)
-            return dict(reuse)
-
         try:
-            solution = self._solve_components(
-                atoms, domains, hint, budget if budget is not None else self.budget
-            )
+            return self._solve_set(self._as_set(constraints), hint, budget)
         except SolverTimeout:
             self.stats.timeouts += 1
             raise
-        if solution is None:
-            self.stats.unsat += 1
-            self.cache.store(key, UNSAT)
-            return None
-        self.stats.sat += 1
-        self.cache.store(key, solution)
-        return dict(solution)
 
-    def satisfiable(self, constraints: Sequence, hint: Optional[Dict[str, int]] = None) -> bool:
+    def satisfiable(
+        self, constraints: Constraints, hint: Optional[Dict[str, int]] = None
+    ) -> bool:
         return self.solve(constraints, hint=hint) is not None
 
     def max_value(
         self,
         expr,
-        constraints: Sequence,
+        constraints: Constraints,
         cap: int = DEFAULT_MAX_CAP,
         hint: Optional[Dict[str, int]] = None,
     ) -> Optional[int]:
@@ -312,12 +336,13 @@ class CspSolver:
         clamped to ``cap`` so unconstrained expressions stay finite.
         """
         self.stats.max_value_queries += 1
+        cs = self._as_set(constraints)
         if not isinstance(expr, Expr):
-            return expr if self.satisfiable(constraints, hint=hint) else None
-        base = self.solve(constraints, hint=hint)
+            return expr if self.satisfiable(cs, hint=hint) else None
+        base = self.solve(cs, hint=hint)
         if base is None:
             return None
-        domains = self._initial_domains(_normalise(constraints) or [])
+        domains = self._initial_domains(_normalise(cs.atoms()) or [])
         for var in expr.free_vars():
             domains.setdefault(var.name, (var.lo, var.hi))
         bound = interval_eval(expr, {n: d for n, d in domains.items()})
@@ -326,7 +351,7 @@ class CspSolver:
         lo = min(lo, hi)
         while lo < hi:
             mid = (lo + hi + 1) // 2
-            probe = list(constraints) + [mk_binop("ge", expr, mid)]
+            probe = cs.append(mk_binop("ge", expr, mid))
             try:
                 sol = self.solve(probe, hint=base)
             except SolverTimeout:
@@ -339,6 +364,171 @@ class CspSolver:
         return lo
 
     # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _as_set(constraints: Constraints) -> ConstraintSet:
+        if isinstance(constraints, ConstraintSet):
+            return constraints
+        return ConstraintSet.from_atoms(constraints)
+
+    def _solve_set(
+        self,
+        cs: ConstraintSet,
+        hint: Optional[Dict[str, int]],
+        budget: Optional[int],
+    ) -> Optional[Dict[str, int]]:
+        stats = self.stats
+        stats.queries += 1
+        if self.incremental:
+            if cs.known_unsat:
+                stats.unsat += 1
+                stats.incremental_hits += 1
+                return None
+            known = cs.model
+            if known is not None:
+                stats.sat += 1
+                stats.incremental_hits += 1
+                return self._complete_over_domains(known, cs.domains())
+            ancestor_model, prefix_raw, suffix_raw = cs.split_at_model()
+        else:
+            ancestor_model, prefix_raw, suffix_raw = None, [], cs.atoms()
+        prefix = _normalise(prefix_raw)
+        suffix = _normalise(suffix_raw)
+        if prefix is None or suffix is None:
+            stats.unsat += 1
+            if self.incremental:
+                cs.note_unsat()
+            return None
+        prefix_ids = {id(a) for a in prefix}
+        suffix = [a for a in suffix if id(a) not in prefix_ids]
+        atoms = prefix + suffix
+        if not atoms:
+            stats.sat += 1
+            return dict(hint) if hint else {}
+        domains = self._initial_domains(atoms)
+
+        # Incremental fast path: the ancestor model satisfies every prefix
+        # atom by contract; re-check just the appended atoms against it
+        # before any component work or search.
+        if ancestor_model is not None and suffix:
+            env = self._complete_over_domains(ancestor_model, domains)
+            memo: dict = {}
+            if all(_holds(a, env, memo) for a in suffix):
+                stats.sat += 1
+                stats.incremental_hits += 1
+                cs.note_model(env)
+                self.cache.remember_solution(env)
+                return dict(env)
+
+        components = self._split_components(atoms, domains)
+        suffix_ids = {id(a) for a in suffix}
+        merged_hint: Dict[str, int] = dict(ancestor_model) if ancestor_model else {}
+        if hint:
+            merged_hint.update(hint)
+        step_budget = budget if budget is not None else self.budget
+
+        solution: Dict[str, int] = {}
+        steps_used = 0
+        sliced = False
+        unsat = False
+        # First pass — independence slicing: a component no new atom
+        # touches is made only of prefix atoms, all satisfied by the
+        # ancestor model; adopt its values without solving anything.
+        # Runs before any search so the slicing benefit is realised even
+        # when a touched component later proves the query UNSAT.
+        pending: List[_Component] = []
+        for comp in components:
+            if (
+                ancestor_model is not None
+                and comp.constraints
+                and not any(id(a) in suffix_ids for a in comp.constraints)
+            ):
+                adopted = self._adopt_model(
+                    ancestor_model, {n: domains[n] for n in comp.names}
+                )
+                if adopted is not None:
+                    solution.update(adopted)
+                    stats.atoms_sliced += len(comp.constraints)
+                    sliced = True
+                    continue
+            pending.append(comp)
+        for comp in pending:
+            comp_domains = {n: domains[n] for n in comp.names}
+            key = ModelCache.key_for(comp.constraints)
+            cached = self.cache.lookup(key) if comp.constraints else None
+            if cached is not None:
+                _kind, result = cached
+                if result == UNSAT_ENTRY:
+                    stats.component_cache_hits += 1
+                    unsat = True
+                    break
+                adopted = self._adopt_model(result, comp_domains)
+                if adopted is not None:
+                    stats.component_cache_hits += 1
+                    solution.update(adopted)
+                    continue
+            # Counterexample reuse: try recent solutions before searching.
+            reuse = self._try_recent_solutions(
+                list(comp.constraints), comp_domains, merged_hint
+            )
+            if reuse is not None:
+                stats.cex_reuses += 1
+                self.cache.store(key, dict(reuse))
+                solution.update(reuse)
+                continue
+            result, used = self._search_component(
+                comp, comp_domains, merged_hint, step_budget - steps_used
+            )
+            steps_used += used
+            stats.search_steps += used
+            if result is None:
+                self.cache.store(key, UNSAT_ENTRY)
+                unsat = True
+                break
+            self.cache.store(key, dict(result))
+            solution.update(result)
+
+        if sliced:
+            stats.incremental_hits += 1
+        if unsat:
+            stats.unsat += 1
+            if self.incremental:
+                cs.note_unsat()
+            return None
+        stats.sat += 1
+        if self.incremental:
+            cs.note_model(dict(solution))
+        self.cache.remember_solution(solution)
+        return dict(solution)
+
+    @staticmethod
+    def _complete_over_domains(
+        model: Dict[str, int], domains: Dict[str, Tuple[int, int]]
+    ) -> Dict[str, int]:
+        """Model completed with ``lo`` defaults, restricted to ``domains``.
+
+        Matches the note_model contract: missing variables take their
+        domain minimum, out-of-domain values (impossible for contract-
+        respecting callers) fall back to it too, keeping results sound.
+        """
+        env: Dict[str, int] = {}
+        for name, (lo, hi) in domains.items():
+            v = model.get(name, lo)
+            env[name] = v if lo <= v <= hi else lo
+        return env
+
+    @staticmethod
+    def _adopt_model(
+        model: Dict[str, int], comp_domains: Dict[str, Tuple[int, int]]
+    ) -> Optional[Dict[str, int]]:
+        """Component-restricted view of ``model`` (lo for missing vars)."""
+        adopted: Dict[str, int] = {}
+        for name, (lo, hi) in comp_domains.items():
+            v = model.get(name, lo)
+            if not lo <= v <= hi:
+                return None
+            adopted[name] = v
+        return adopted
 
     @staticmethod
     def _complete(solution: Dict[str, int], expr: Expr) -> Dict[str, int]:
@@ -379,28 +569,6 @@ class CspSolver:
             if all(evaluate(a, env) for a in atoms):
                 return env
         return None
-
-    def _solve_components(
-        self,
-        atoms: List[Expr],
-        domains: Dict[str, Tuple[int, int]],
-        hint: Optional[Dict[str, int]],
-        budget: int,
-    ) -> Optional[Dict[str, int]]:
-        components = self._split_components(atoms, domains)
-        solution: Dict[str, int] = {}
-        steps_used = 0
-        for comp in components:
-            comp_domains = {n: domains[n] for n in comp.names}
-            result, used = self._search_component(
-                comp, comp_domains, hint or {}, budget - steps_used
-            )
-            steps_used += used
-            self.stats.search_steps += used
-            if result is None:
-                return None
-            solution.update(result)
-        return solution
 
     @staticmethod
     def _split_components(atoms: List[Expr], domains) -> List[_Component]:
@@ -541,10 +709,14 @@ class CspSolver:
 
 
 def make_default_solver(budget: int = DEFAULT_BUDGET) -> CspSolver:
-    """Factory used by the engine; one shared cache per solver instance."""
+    """Factory used by the engine; backed by the engine-wide model cache."""
     return CspSolver(budget=budget)
 
 
-__all__ = ["CspSolver", "SolverStats", "make_default_solver", "DEFAULT_BUDGET"]
-
-
+__all__ = [
+    "CspSolver",
+    "SolverStats",
+    "make_default_solver",
+    "DEFAULT_BUDGET",
+    "DEFAULT_MAX_CAP",
+]

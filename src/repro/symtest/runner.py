@@ -15,6 +15,7 @@ from repro.chef.engine import RunResult
 from repro.chef.options import ChefConfig
 from repro.chef.testcase import TestCase
 from repro.errors import ReproError
+from repro.solver.backend import SolverBackend
 from repro.symtest.library import SymbolicTest
 
 
@@ -37,19 +38,21 @@ class SymbolicTestRunner:
         package_source: str,
         test: SymbolicTest,
         config: Optional[ChefConfig] = None,
+        solver: Optional[SolverBackend] = None,
     ):
         self.test = test
         self.config = config if config is not None else ChefConfig()
+        self.solver = solver
         driver = test.build_driver()
         self.full_source = package_source.rstrip("\n") + "\n\n" + driver
         if test.language == "minipy":
             from repro.interpreters.minipy.engine import MiniPyEngine
 
-            self.engine = MiniPyEngine(self.full_source, self.config)
+            self.engine = MiniPyEngine(self.full_source, self.config, solver=solver)
         elif test.language == "minilua":
             from repro.interpreters.minilua.engine import MiniLuaEngine
 
-            self.engine = MiniLuaEngine(self.full_source, self.config)
+            self.engine = MiniLuaEngine(self.full_source, self.config, solver=solver)
         else:
             raise ReproError(f"unknown guest language {test.language!r}")
 

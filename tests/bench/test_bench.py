@@ -18,6 +18,8 @@ from repro.bench.reporting import (
 from repro.chef.options import InterpreterBuildOptions
 from repro.targets import target_by_name
 
+from tests.conftest import requires_clay
+
 
 class TestHarness:
     def test_paper_configs_complete(self):
@@ -28,6 +30,7 @@ class TestHarness:
         assert strategy == "random"
         assert options == InterpreterBuildOptions.vanilla()
 
+    @requires_clay
     def test_run_package_summary(self):
         target = target_by_name("unicodecsv")
         run = run_package(
@@ -55,6 +58,7 @@ class TestHarness:
         assert settings.seeds >= 1
 
 
+@requires_clay
 class TestEffort:
     def test_rows_shape(self):
         rows = {r.language: r for r in effort_table()}

@@ -5,6 +5,8 @@ import pytest
 from repro.dedicated import DedicatedNiceEngine, differential_test
 from repro.dedicated.features import FEATURE_MATRIX, PROBES
 
+from tests.conftest import requires_clay
+
 
 class TestNiceEngine:
     def test_explores_symbolic_int_branches(self):
@@ -112,6 +114,7 @@ print(gate(f, x))
 """
 
 
+@requires_clay
 class TestDifferential:
     def test_agreement_without_bug(self):
         report = differential_test(_NOT_PROGRAM, time_budget=5.0, legacy_not_bug=False)

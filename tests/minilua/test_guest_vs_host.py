@@ -5,6 +5,10 @@ import pytest
 from repro.chef.options import ChefConfig, InterpreterBuildOptions
 from repro.interpreters.minilua.engine import MiniLuaEngine
 
+from tests.conftest import requires_clay
+
+pytestmark = requires_clay
+
 _PROGRAMS = {
     "arith": """
 print(2 + 3 * 4)

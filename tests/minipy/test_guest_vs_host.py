@@ -7,6 +7,10 @@ import pytest
 from repro.chef.options import ChefConfig, InterpreterBuildOptions
 from repro.interpreters.minipy.engine import MiniPyEngine
 
+from tests.conftest import requires_clay
+
+pytestmark = requires_clay
+
 _PROGRAMS = {
     "arith": """
 print(2 + 3 * 4)

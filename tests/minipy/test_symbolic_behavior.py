@@ -10,6 +10,10 @@ import pytest
 from repro.chef.options import ChefConfig, InterpreterBuildOptions
 from repro.interpreters.minipy.engine import MiniPyEngine
 
+from tests.conftest import requires_clay
+
+pytestmark = requires_clay
+
 _FIND_PROGRAM = '''
 email = sym_string("\\x00\\x00\\x00\\x00\\x00")
 pos = email.find("@")

@@ -8,6 +8,8 @@ from repro.symtest import SymbolicTest, SymbolicTestRunner
 from repro.symtest.coverage import count_loc, coverage_percent, merge_coverage
 from repro.symtest.library import SimpleSymbolicTest, _quote_minipy
 
+from tests.conftest import requires_clay
+
 
 class ArgparseStyleTest(SymbolicTest):
     """Mirrors the paper's Fig. 7 test structure."""
@@ -78,6 +80,7 @@ def is_vowel(c):
 """
 
 
+@requires_clay
 class TestRunner:
     def _runner(self, budget=5.0):
         test = SimpleSymbolicTest(

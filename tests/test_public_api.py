@@ -2,12 +2,15 @@
 
 import repro
 
+from tests.conftest import requires_clay
+
 
 def test_exports():
     for name in repro.__all__:
         assert hasattr(repro, name), name
 
 
+@requires_clay
 def test_readme_quickstart_flow():
     engine = repro.MiniPyEngine(
         '''
@@ -31,6 +34,7 @@ print(check(data))
         assert replay.output == case.output
 
 
+@requires_clay
 def test_lua_engine_exported():
     engine = repro.MiniLuaEngine(
         "print(1 + 1)", repro.ChefConfig(time_budget=10.0)

@@ -1,0 +1,119 @@
+"""Parallel-exploration benchmark: sharded frontier vs the serial loop.
+
+Scales the branchy workload of ``test_solver_incremental`` up to 12
+input bytes (4096 feasible paths) and explores it twice: the classic
+in-process loop (``workers=1``) and the sharded coordinator/worker pool
+(``workers=4`` by default).  Asserts the properties that must hold on
+any machine — the two runs explore the *identical* path set, and
+cross-worker model-cache merging produces real reuse (merged-delta hits
+> 0) — and asserts the ≥2× wall-clock speedup only when the host
+actually has the cores to show it (single-core CI runners measure pure
+IPC overhead; the CI smoke job pins assertions to path sets and query
+counts for exactly that reason).
+
+Counters and timings are emitted to ``BENCH_pr4.json`` at the repo root
+(schema in ``docs/architecture.md``) so the perf trajectory is tracked
+per PR.
+"""
+
+import os
+
+from repro.bench.perfjson import update_bench_json
+from repro.bench.reporting import render_table
+from repro.bench.workloads import branchy_source
+from repro.clay import compile_program
+from repro.lowlevel.executor import ExecutorConfig, LowLevelEngine
+from repro.parallel import ParallelExplorer
+from repro.solver.cache import ModelCache
+from repro.solver.csp import CspSolver
+
+#: 12 bytes = 4096 feasible paths (scaled down via env for CI smoke).
+_BYTES = int(os.environ.get("REPRO_BENCH_PARALLEL_BYTES", "12"))
+_WORKERS = int(os.environ.get("REPRO_BENCH_PARALLEL_WORKERS", "4"))
+_MAX_STATES = 1 << (_BYTES + 2)
+
+
+
+def test_parallel_speedup(benchmark, report):
+    compiled = compile_program(branchy_source(_BYTES))
+
+    def run():
+        serial_engine = LowLevelEngine(
+            compiled.program,
+            solver=CspSolver(cache=ModelCache()),
+            config=ExecutorConfig(),
+        )
+        serial = serial_engine.explore(max_states=_MAX_STATES)
+        explorer = ParallelExplorer(
+            compiled.program,
+            workers=_WORKERS,
+            config=ExecutorConfig(),
+            batch_size=64,
+        )
+        parallel = explorer.explore(max_states=_MAX_STATES)
+        return serial, parallel
+
+    serial, parallel = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    speedup = serial.wall_time / parallel.wall_time if parallel.wall_time else 0.0
+    cpu_count = os.cpu_count() or 1
+    merged_hits = parallel.cache_stats.get("merged_hits", 0)
+    merged_stores = parallel.cache_stats.get("merged_stores", 0)
+
+    rows = [
+        ["paths (serial)", len(serial.records)],
+        ["paths (parallel)", len(parallel.records)],
+        ["path sets identical", serial.path_set() == parallel.path_set()],
+        ["workers", parallel.workers],
+        ["batches", parallel.batches],
+        ["serial wall (s)", f"{serial.wall_time:.3f}"],
+        ["parallel wall (s)", f"{parallel.wall_time:.3f}"],
+        ["speedup", f"{speedup:.2f}x"],
+        ["host cores", cpu_count],
+        ["merged-delta stores", merged_stores],
+        ["merged-delta hits", merged_hits],
+        ["serial solver queries", serial.solver_stats.get("queries", 0)],
+        ["parallel solver queries", parallel.solver_stats.get("queries", 0)],
+    ]
+    report(
+        f"Sharded parallel exploration on a {_BYTES}-byte branchy guest "
+        f"({len(serial.records)} paths, {_WORKERS} workers)",
+        render_table(["metric", "value"], rows),
+    )
+
+    update_bench_json(
+        "parallel_speedup",
+        {
+            "workload": {"kind": "branchy", "bytes": _BYTES, "paths": len(serial.records)},
+            "serial": {
+                "wall_time_s": round(serial.wall_time, 4),
+                "solver_stats": serial.solver_stats,
+            },
+            "parallel": {
+                "workers": _WORKERS,
+                "batches": parallel.batches,
+                "wall_time_s": round(parallel.wall_time, 4),
+                "speedup": round(speedup, 3),
+                "solver_stats": parallel.solver_stats,
+                "cache_stats": parallel.cache_stats,
+                "coordinator_cache": parallel.coordinator_cache,
+            },
+            "path_sets_identical": serial.path_set() == parallel.path_set(),
+        },
+    )
+
+    # Portable acceptance bar: identical exploration + real cross-worker
+    # cache flow, regardless of how many cores the host happens to have.
+    assert len(serial.records) == 1 << _BYTES, len(serial.records)
+    assert serial.path_set() == parallel.path_set()
+    assert merged_stores > 0, parallel.cache_stats
+    assert merged_hits > 0, parallel.cache_stats
+    # The wall-clock claim is ">=2x at 4 workers"; it needs hardware
+    # that can actually run the workers concurrently (a 1-core container
+    # measures pure IPC overhead) and at least the 4-worker fan-out (2
+    # workers cap below 2x by construction).
+    if _WORKERS >= 4 and cpu_count >= _WORKERS:
+        assert speedup >= 2.0, (
+            f"expected >=2x speedup at {_WORKERS} workers on {cpu_count} cores, "
+            f"got {speedup:.2f}x"
+        )

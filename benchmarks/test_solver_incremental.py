@@ -11,7 +11,9 @@ sliced atoms and component-cache hits — and reports the counters so the
 perf trajectory is visible per PR.
 """
 
+from repro.bench.perfjson import update_bench_json
 from repro.bench.reporting import render_table
+from repro.bench.workloads import branchy_source
 from repro.clay import compile_program
 from repro.lowlevel.executor import ExecutorConfig, LowLevelEngine
 from repro.solver.cache import ModelCache
@@ -19,22 +21,6 @@ from repro.solver.csp import CspSolver
 
 _BYTES = 6
 
-
-def _branchy_source(n: int) -> str:
-    """One branch per byte: 2**n feasible paths, one component per byte."""
-    lines = [
-        "const BUF = 700;",
-        "fn main() {",
-        f"    make_symbolic(BUF, {n}, 0, 255);",
-        "    var acc = 0;",
-    ]
-    for i in range(n):
-        lines.append(f"    var c{i} = load(BUF + {i});")
-        lines.append(f"    if (c{i} == {ord('a') + i}) {{ acc = acc + {1 << i}; }}")
-    lines.append("    out(acc);")
-    lines.append("    end_symbolic();")
-    lines.append("}")
-    return "\n".join(lines)
 
 
 def _explore(engine: LowLevelEngine, max_states: int = 512) -> int:
@@ -52,7 +38,7 @@ def _explore(engine: LowLevelEngine, max_states: int = 512) -> int:
 
 
 def test_solver_incremental_reuse(benchmark, report):
-    compiled = compile_program(_branchy_source(_BYTES))
+    compiled = compile_program(branchy_source(_BYTES))
 
     def run():
         # A fresh, isolated cache: this measures the architecture, not
@@ -72,6 +58,14 @@ def test_solver_incremental_reuse(benchmark, report):
         f"Incremental solving on a {_BYTES}-byte branchy guest "
         f"({paths} paths explored)",
         render_table(["counter", "value"], rows),
+    )
+    update_bench_json(
+        "solver_incremental",
+        {
+            "workload": {"kind": "branchy", "bytes": _BYTES, "paths": paths},
+            "solver_stats": stats,
+            "cache_stats": cache_stats,
+        },
     )
 
     assert paths == 1 << _BYTES, f"expected full exploration, got {paths}"

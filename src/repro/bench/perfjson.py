@@ -1,0 +1,55 @@
+"""Machine-readable perf trajectory: ``BENCH_pr4.json`` at the repo root.
+
+Benchmarks call :func:`update_bench_json` with a section name and a
+payload; the file accumulates sections across benchmark runs
+(read-modify-write), so one pytest invocation of the benchmark suite
+leaves a single JSON document tracking solver and parallel-exploration
+counters per PR.  The schema is documented in ``docs/architecture.md``.
+
+Set ``REPRO_BENCH_JSON`` to redirect the output — scaled-down smoke
+runs (CI, tight local budgets) should point it somewhere scratch so
+they don't clobber the committed full-workload numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+SCHEMA = "repro-bench/pr4"
+
+#: Repo root (this file lives at src/repro/bench/perfjson.py).
+_REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, os.pardir)
+)
+
+DEFAULT_PATH = os.path.join(_REPO_ROOT, "BENCH_pr4.json")
+
+
+def update_bench_json(section: str, payload: Dict, path: Optional[str] = None) -> str:
+    """Merge ``payload`` under ``section`` in the bench JSON; returns path.
+
+    Unknown or corrupt existing content is replaced rather than crashing
+    the benchmark that reports into it.
+    """
+    target = path or os.environ.get("REPRO_BENCH_JSON") or DEFAULT_PATH
+    document: Dict = {}
+    try:
+        with open(target, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+        if isinstance(existing, dict) and existing.get("schema") == SCHEMA:
+            document = existing
+    except (OSError, ValueError):
+        pass
+    document["schema"] = SCHEMA
+    document["cpu_count"] = os.cpu_count()
+    sections = document.setdefault("sections", {})
+    sections[section] = payload
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
+
+
+__all__ = ["DEFAULT_PATH", "SCHEMA", "update_bench_json"]

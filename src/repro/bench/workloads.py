@@ -1,0 +1,56 @@
+"""Shared Clay guest generators for benchmarks and tests.
+
+The parallel determinism tests and the speedup benchmark must measure the
+*same* workload — CI asserts path-set equality on what the benchmark
+times — so the generators live here once instead of being copy-pasted
+into each file.
+"""
+
+from __future__ import annotations
+
+
+def branchy_source(n: int) -> str:
+    """One independent branch per byte: ``2**n`` feasible paths.
+
+    Each byte is its own constraint component, which is what lets the
+    model-cache subset/superset reuse (and its cross-worker merging)
+    shine on this workload.
+    """
+    lines = [
+        "const BUF = 700;",
+        "fn main() {",
+        f"    make_symbolic(BUF, {n}, 0, 255);",
+        "    var acc = 0;",
+    ]
+    for i in range(n):
+        lines.append(f"    var c{i} = load(BUF + {i});")
+        lines.append(f"    if (c{i} == {ord('a') + i}) {{ acc = acc + {1 << i}; }}")
+    lines.append("    out(acc);")
+    lines.append("    end_symbolic();")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def traced_source(n: int) -> str:
+    """Branchy guest that also reports HLPCs through log_pc (Chef mode)."""
+    lines = [
+        "const BUF = 700;",
+        "fn main() {",
+        f"    make_symbolic(BUF, {n}, 0, 255);",
+        "    log_pc(100, 1);",
+        "    var acc = 0;",
+    ]
+    for i in range(n):
+        lines.append(f"    var c{i} = load(BUF + {i});")
+        lines.append(
+            f"    if (c{i} == {ord('a') + i}) {{ log_pc({200 + i}, 2); "
+            f"acc = acc + {1 << i}; }} else {{ log_pc({300 + i}, 2); }}"
+        )
+    lines.append("    log_pc(400, 3);")
+    lines.append("    out(acc);")
+    lines.append("    end_symbolic();")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+__all__ = ["branchy_source", "traced_source"]

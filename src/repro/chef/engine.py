@@ -26,6 +26,13 @@ from repro.lowlevel.program import Program
 from repro.solver.backend import SolverBackend
 from repro.solver.csp import make_default_solver
 
+#: Terminal statuses that never yield a test case (unsat alternates,
+#: budget/deadline artifacts).  Checked up front by both the serial hook
+#: and the parallel record path so discarded paths cost nothing.
+_DISCARDED_STATUSES = frozenset(
+    (Status.ASSUME_FAILED, Status.INFEASIBLE, Status.SOLVER_TIMEOUT, Status.DEADLINE)
+)
+
 
 @dataclass
 class RunResult:
@@ -52,6 +59,26 @@ class RunResult:
 
     def hl_to_ll_ratio(self) -> float:
         return self.hl_paths / self.ll_paths if self.ll_paths else 0.0
+
+
+class _PendingHandle:
+    """Strategy-facing stand-in for a pending state held as a snapshot.
+
+    Exposes exactly the attributes the CUPA classifiers and weight
+    functions read (``meta``, ``fork_ll_pc``, ``fork_group``,
+    ``fork_index``, ``depth``); the snapshot itself is what gets shipped
+    to a worker when the strategy selects this handle.
+    """
+
+    __slots__ = ("snapshot", "meta", "fork_ll_pc", "fork_group", "fork_index", "depth")
+
+    def __init__(self, snapshot, meta, fork_group):
+        self.snapshot = snapshot
+        self.meta = meta
+        self.fork_ll_pc = snapshot.fork_ll_pc
+        self.fork_group = fork_group
+        self.fork_index = snapshot.fork_index
+        self.depth = snapshot.depth
 
 
 class Chef:
@@ -108,35 +135,59 @@ class Chef:
         child.meta = dict(parent.meta)
 
     def _on_path_end(self, state: State) -> None:
-        status = state.machine.status
-        if status in (
-            Status.ASSUME_FAILED,
-            Status.INFEASIBLE,
-            Status.SOLVER_TIMEOUT,
-            Status.DEADLINE,
-        ):
+        if state.machine.status in _DISCARDED_STATUSES:
+            return  # don't build inputs/output copies just to drop them
+        self._emit_test_case(
+            status=state.machine.status,
+            inputs=state.input_values(),
+            events=((e.kind, e.a, e.b) for e in state.events),
+            output=list(state.machine.output),
+            hl_instr_count=state.hl_instr_count,
+            ll_instr_count=state.instr_count,
+            signature=state.meta.get("hl_sig", 0),
+            path_constraints=state.path_condition,
+        )
+
+    def _emit_test_case(
+        self,
+        status: str,
+        inputs,
+        events,
+        output,
+        hl_instr_count: int,
+        ll_instr_count: int,
+        signature: int,
+        path_constraints,
+    ) -> None:
+        """Terminal-path processing shared by serial and parallel modes.
+
+        Applies the terminal-status filter, builds the :class:`TestCase`
+        and samples the timeline; ``events`` is ``(kind, a, b)`` tuples.
+        Keeping this in one place is what keeps ``workers=1`` and
+        ``workers=N`` test suites equivalent.
+        """
+        if status in _DISCARDED_STATUSES:
             return
         self._ll_paths += 1
-        signature = state.meta.get("hl_sig", 0)
         new_hl = self.tree.record_path(signature)
         exception_type = None
-        for event in state.events:
-            if event.kind == api.EVENT_UNCAUGHT_EXCEPTION:
-                exception_type = event.a
+        for kind, a, _b in events:
+            if kind == api.EVENT_UNCAUGHT_EXCEPTION:
+                exception_type = a
         case = TestCase(
             test_id=len(self.suite.cases),
-            inputs=state.input_values(),
+            inputs=inputs,
             status=status,
             hl_path_signature=signature,
             new_hl_path=new_hl,
             exception_type=exception_type,
             hang=status == Status.BUDGET_EXCEEDED,
             interpreter_crash=status == Status.FAULT,
-            output=list(state.machine.output),
-            hl_instr_count=state.hl_instr_count,
-            ll_instr_count=state.instr_count,
+            output=output,
+            hl_instr_count=hl_instr_count,
+            ll_instr_count=ll_instr_count,
             wall_time=time.monotonic() - self._start_time,
-            path_constraints=state.path_condition,
+            path_constraints=path_constraints,
         )
         self.suite.add(case)
         if self._ll_paths % max(self.config.sample_every, 1) == 0:
@@ -148,6 +199,8 @@ class Chef:
 
     def run(self) -> RunResult:
         """Explore until the time/path budget is exhausted."""
+        if self.config.workers > 1:
+            return self._run_parallel()
         config = self.config
         self._cache_stats_start = self._cache_stats_snapshot()
         self._start_time = time.monotonic()
@@ -180,6 +233,139 @@ class Chef:
             states_created=self.ll._next_sid,
             tags=dict(config.tags or {}),
         )
+
+    # -- parallel mode ---------------------------------------------------------
+
+    def _run_parallel(self) -> RunResult:
+        """Shard the pending-state frontier across worker processes.
+
+        Workers run low-level paths and stream back (a) terminated-path
+        records carrying their HLPC traces and (b) snapshots of new
+        pending states.  The coordinator replays traces through the
+        high-level tree/CFG (the same transitions the serial loop feeds
+        incrementally), generates test cases, classifies pending
+        snapshots for the CUPA/strategy layer, and merges model-cache
+        deltas across the pool.  Exploration *order* differs from serial
+        (batching), so time-budgeted runs may cover different prefixes;
+        exhaustive runs produce the identical path set.
+        """
+        from repro.parallel.coordinator import ParallelExplorer, warn_if_custom_backend
+        from repro.parallel.snapshot import boot_snapshot
+
+        warn_if_custom_backend(self.ll.solver)
+        config = self.config
+        self._start_time = time.monotonic()
+        deadline = self._start_time + config.time_budget
+        exec_config = ExecutorConfig(
+            max_instrs_per_path=config.path_instr_budget, deadline=deadline
+        )
+        solver_budget = getattr(self.ll.solver, "budget", None)
+        if solver_budget is None:
+            solver_budget = config.solver_budget
+        explorer = ParallelExplorer(
+            self.ll.program,
+            workers=config.workers,
+            config=exec_config,
+            solver_budget=solver_budget,
+            namespace=self.ll.namespace,
+            batch_size=config.worker_batch,
+            trace_hlpc=True,
+        )
+        with explorer:
+            batch = [boot_snapshot(self.ll.program)]
+            round_no = 0
+            while batch:
+                for chunk_index, result in enumerate(explorer.submit(batch)):
+                    for record in result.records:
+                        self._ingest_record(record)
+                    for snap in result.pending:
+                        self.strategy.add(
+                            self._pending_handle(snap, round_no, chunk_index)
+                        )
+                round_no += 1
+                if self._budget_exhausted():
+                    break
+                batch = self._pop_pending_batch(config.workers * config.worker_batch)
+        duration = time.monotonic() - self._start_time
+        self._timeline.append((duration, self.tree.distinct_paths(), self._ll_paths))
+        solver_stats = explorer.aggregate("solver_stats")
+        for key, value in explorer.aggregate("cache_stats").items():
+            solver_stats[f"cache_{key}"] = value
+        return RunResult(
+            suite=self.suite,
+            hl_paths=self.tree.distinct_paths(),
+            ll_paths=self._ll_paths,
+            duration=duration,
+            timeline=list(self._timeline),
+            engine_stats=explorer.aggregate("engine_stats"),
+            solver_stats=solver_stats,
+            cfg_nodes=self.cfg.node_count(),
+            cfg_edges=self.cfg.edge_count(),
+            tree_nodes=self.tree.node_count(),
+            pending_left=len(self.strategy),
+            states_created=explorer.states_created(),
+            tags=dict(config.tags or {}),
+        )
+
+    def _ingest_record(self, record) -> None:
+        """Parallel-mode twin of :meth:`_on_path_end`, fed by replay.
+
+        The trace replay mirrors what :meth:`_on_log_pc` does live in
+        serial mode — CFG edges *and* dynamic-tree unfolding — so the
+        high-level structures end up identical; only then does the
+        serial status filter decide whether the path yields a test case.
+        """
+        prev: Optional[int] = None
+        prev_op: Optional[int] = None
+        node = HighLevelTree.ROOT
+        signature = 0
+        for pc, opcode in record.hl_trace:
+            self.cfg.observe(prev, prev_op, pc, opcode)
+            node = self.tree.advance(node, pc)
+            signature = HighLevelTree.extend_signature(signature, pc)
+            prev, prev_op = pc, opcode
+        self._emit_test_case(
+            status=record.status,
+            inputs={name: list(values) for name, values in record.inputs},
+            events=record.events,
+            output=list(record.output),
+            hl_instr_count=record.hl_instr_count,
+            ll_instr_count=record.instr_count,
+            signature=signature,
+            path_constraints=record.path_constraints,
+        )
+
+    def _pending_handle(self, snap, round_no: int, chunk_index: int) -> "_PendingHandle":
+        """Classify a pending snapshot for the strategy layer.
+
+        Replays the snapshot's HLPC trace through the coordinator's
+        high-level tree to recover the dynamic-HLPC / static-HLPC meta
+        the CUPA classifiers read; fork groups are remapped with the
+        (round, chunk) origin because worker-local parent sids collide
+        across processes.
+        """
+        meta = dict(snap.meta)
+        trace = meta.get("hl_trace") or ()
+        node = HighLevelTree.ROOT
+        for pc, _opcode in trace:
+            node = self.tree.advance(node, pc)
+        meta["dyn_node"] = node
+        if trace:
+            meta["static_hlpc"] = trace[-1][0]
+            meta["hl_opcode"] = trace[-1][1]
+        fork_group = snap.fork_group
+        if fork_group is not None:
+            fork_group = (round_no, chunk_index) + tuple(fork_group)
+        return _PendingHandle(snap, meta, fork_group)
+
+    def _pop_pending_batch(self, limit: int) -> List:
+        batch = []
+        while len(batch) < limit:
+            handle = self.strategy.select()
+            if handle is None:
+                break
+            batch.append(handle.snapshot)
+        return batch
 
     def _cache_stats_snapshot(self) -> Dict[str, int]:
         cache = getattr(self.solver, "cache", None)

@@ -99,5 +99,10 @@ class ChefConfig:
     fork_weight_p: float = 0.75
     #: sample interval (in completed ll paths) for the Fig. 10 time series.
     sample_every: int = 1
+    #: worker processes for frontier exploration (1 = classic in-process
+    #: loop; >1 shards pending states across a parallel worker pool).
+    workers: int = 1
+    #: states shipped per worker per round in parallel mode.
+    worker_batch: int = 8
     #: extra metadata carried into results (benchmarks stamp configs here).
     tags: Optional[Dict[str, str]] = None

@@ -9,7 +9,7 @@ the chain grows too deep, bounding lookup cost.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Tuple
 
 _TOMBSTONE = object()
 
@@ -24,28 +24,51 @@ class CowMap:
     containment, iteration and length.  Keys and values are arbitrary.
     """
 
-    __slots__ = ("_layers", "_top", "_size")
+    __slots__ = ("_layers", "_top", "_size", "_base")
 
     def __init__(self, initial: Optional[Dict] = None):
         self._layers = []  # frozen ancestor dicts, oldest first
         self._top: Dict = dict(initial) if initial else {}
         self._size: Optional[int] = len(self._top)
+        #: externally shared frozen dict at the bottom of the chain (set
+        #: by :meth:`from_base_and_delta`); compaction keeps it distinct
+        #: so :meth:`delta_against` can diff in O(writes) forever.
+        self._base: Optional[Dict] = None
 
     def fork(self) -> "CowMap":
         """Return a logical copy sharing all current data."""
-        child = CowMap.__new__(CowMap)
         if self._top:
             self._layers = self._layers + [self._top]
             self._top = {}
+        # Compact BEFORE copying layer references to the child: one flatten
+        # serves both maps (they are content-identical at this point),
+        # instead of flattening the same chain twice.
+        if len(self._layers) > _MAX_DEPTH:
+            self._compact()
+        child = CowMap.__new__(CowMap)
         child._layers = list(self._layers)
         child._top = {}
         child._size = self._size
-        if len(self._layers) > _MAX_DEPTH:
-            self._compact()
-            child._compact()
+        child._base = self._base
         return child
 
     def _compact(self) -> None:
+        if self._base is not None and self._layers and self._layers[0] is self._base:
+            # Merge everything *above* the shared base into one overlay,
+            # leaving the base untouched at the bottom: folding it in
+            # would permanently disable delta_against's O(writes) fast
+            # path for this lineage.  Tombstones must survive the merge
+            # when the base still holds the deleted key.
+            base = self._layers[0]
+            overlay: Dict = {}
+            for layer in self._layers[1:]:
+                overlay.update(layer)
+            overlay.update(self._top)
+            for key in [k for k, v in overlay.items() if v is _TOMBSTONE and k not in base]:
+                del overlay[key]
+            self._layers = [base, overlay]
+            self._top = {}
+            return
         flat: Dict = {}
         for layer in self._layers:
             flat.update(layer)
@@ -113,6 +136,61 @@ class CowMap:
     def to_dict(self) -> Dict:
         """Materialise the full mapping (tests and debugging)."""
         return dict(self.items())
+
+    # -- snapshot codec helpers (parallel exploration) ----------------------
+
+    def delta_against(self, base: Dict) -> "Tuple[Dict, Tuple]":
+        """``(changed, deleted)`` such that ``base`` + delta == this map.
+
+        ``changed`` holds keys whose value differs from ``base`` (or are
+        absent there); ``deleted`` lists ``base`` keys no longer present.
+        Used to ship machine memory as a compact diff against the
+        program's static data instead of the full flattened image.
+
+        When ``base`` is this map's own bottom layer (boot states and
+        restored snapshots share static data by reference), only the
+        layers above it are scanned — the cost is proportional to actual
+        writes, not the whole memory image.
+        """
+        if self._layers and self._layers[0] is base:
+            overlay: Dict = {}
+            for layer in self._layers[1:]:
+                overlay.update(layer)
+            overlay.update(self._top)
+            changed = {}
+            deleted = []
+            for key, value in overlay.items():
+                if value is _TOMBSTONE:
+                    if key in base:
+                        deleted.append(key)
+                elif key not in base or base[key] is not value and base[key] != value:
+                    changed[key] = value
+            return changed, tuple(deleted)
+        flat = self.to_dict()
+        changed = {
+            key: value
+            for key, value in flat.items()
+            if key not in base or base[key] is not value and base[key] != value
+        }
+        deleted = tuple(key for key in base if key not in flat)
+        return changed, deleted
+
+    @classmethod
+    def from_base_and_delta(cls, base: Dict, changed: Dict, deleted=()) -> "CowMap":
+        """Rebuild a map from a shared frozen ``base`` layer plus a delta.
+
+        ``base`` is stored by reference as a frozen ancestor layer (the
+        caller promises not to mutate it — program static data qualifies);
+        the delta becomes the private top layer.
+        """
+        restored = cls.__new__(cls)
+        restored._layers = [base] if base else []
+        restored._top = dict(changed)
+        for key in deleted:
+            restored._top[key] = _TOMBSTONE
+        restored._size = None
+        restored._base = base if base else None
+        return restored
 
     def __repr__(self) -> str:
         return f"CowMap({len(self)} entries, {len(self._layers)} layers)"

@@ -59,6 +59,18 @@ _MAX_SHIFT = 512
 _ENGINE_COUNTER = 0
 
 
+def fresh_namespace(prefix: str = "e") -> str:
+    """Process-unique symbolic-variable namespace (e.g. ``"e3:"``).
+
+    Engines namespace their variables so several (with different input
+    domains) can coexist in one process despite the global Sym registry;
+    a parallel run pins one namespace across its whole worker pool.
+    """
+    global _ENGINE_COUNTER
+    _ENGINE_COUNTER += 1
+    return f"{prefix}{_ENGINE_COUNTER}:"
+
+
 @dataclass
 class PathEvent:
     """A high-level event reported by the guest (EVENT hypercall)."""
@@ -214,12 +226,7 @@ class LowLevelEngine:
         self.config = config if config is not None else ExecutorConfig()
         self.stats = EngineStats()
         self._next_sid = 0
-        # Symbolic variable names are namespaced per engine instance so
-        # that several engines (with different input domains) can coexist
-        # in one process despite the global Sym registry.
-        global _ENGINE_COUNTER
-        _ENGINE_COUNTER += 1
-        self.namespace = f"e{_ENGINE_COUNTER}:"
+        self.namespace = fresh_namespace()
         # Listener hooks (set by the Chef engine).
         self.on_log_pc: Optional[Callable[[State, int, int], None]] = None
         self.on_fork: Optional[Callable[[State, State], None]] = None
@@ -298,6 +305,71 @@ class LowLevelEngine:
         state._conc_memo = {}
         self.stats.states_activated += 1
         return "sat"
+
+    # -- frontier exploration -------------------------------------------------
+
+    def explore(self, max_states: int = 512, workers: int = 1, batch_size: int = 8):
+        """Exhaustively explore from boot, optionally across processes.
+
+        ``workers=1`` runs the classic in-process loop — activate/run on
+        this engine instance, bit-for-bit identical to driving
+        :meth:`run_path` by hand (no snapshotting anywhere on the path).
+        ``workers>1`` shards the frontier across a
+        :class:`~repro.parallel.coordinator.ParallelExplorer` pool.
+        Returns an :class:`~repro.parallel.coordinator.ExploreResult`
+        either way; for exhaustive runs the explored path set is
+        identical across worker counts.
+        """
+        if workers > 1:
+            from repro.parallel.coordinator import ParallelExplorer, warn_if_custom_backend
+            from repro.solver.csp import DEFAULT_BUDGET
+
+            warn_if_custom_backend(self.solver)
+            explorer = ParallelExplorer(
+                self.program,
+                workers=workers,
+                config=self.config,
+                solver_budget=(
+                    budget
+                    if (budget := getattr(self.solver, "budget", None)) is not None
+                    else DEFAULT_BUDGET
+                ),
+                batch_size=batch_size,
+            )
+            return explorer.explore(max_states=max_states)
+
+        import time as _time
+
+        from repro.parallel.coordinator import ExploreResult
+        from repro.parallel.snapshot import path_record_of
+
+        start_time = _time.monotonic()
+        records = []
+        state = self.new_state()
+        queue = self.run_path(state)
+        if state.terminated():
+            records.append(path_record_of(state))
+        states_run = 1
+        while queue and states_run < max_states:
+            candidate = queue.pop()
+            if self.activate(candidate) != "sat":
+                continue
+            queue.extend(self.run_path(candidate))
+            if candidate.terminated():
+                records.append(path_record_of(candidate))
+            states_run += 1
+        cache = getattr(self.solver, "cache", None)
+        return ExploreResult(
+            records=records,
+            engine_stats=self.stats.as_dict(),
+            solver_stats=self.solver.stats.as_dict() if hasattr(self.solver, "stats") else {},
+            cache_stats=cache.stats_dict() if hasattr(cache, "stats_dict") else {},
+            workers=1,
+            batches=0,
+            states_run=states_run,
+            pending_left=len(queue),
+            wall_time=_time.monotonic() - start_time,
+        )
 
     # -- path execution -------------------------------------------------------
 

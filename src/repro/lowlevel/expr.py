@@ -16,7 +16,9 @@ heavier rewrites live in :mod:`repro.lowlevel.simplify`.
 
 from __future__ import annotations
 
+import operator
 import sys
+from hashlib import blake2b
 from typing import Dict, FrozenSet, Iterable, Optional, Union
 
 # Deeply nested expressions arise from loops over symbolic buffers (hash
@@ -72,6 +74,17 @@ class Expr:
     def __hash__(self) -> int:  # pragma: no cover - trivial
         return id(self)
 
+    def __reduce__(self):
+        # Pickle as a flat post-order instruction list, NOT as nested
+        # constructor calls: pickle walks __reduce__ arguments recursively
+        # in C, so an operand-chain encoding blows the C stack (hard
+        # segfault, no RecursionError) on the deep expressions this module
+        # raises sys.recursionlimit for.  Rebuilding goes through the
+        # intern table, so a restored node IS the receiving process's
+        # interned node and id()-keyed caches stay sound.
+        instrs, refs = flatten_values((self,))
+        return (_rebuild_graph, (instrs, refs[0]))
+
 
 class Sym(Expr):
     """A symbolic input variable with an inclusive finite domain.
@@ -104,6 +117,12 @@ class Sym(Expr):
     def reset_registry(cls) -> None:
         """Forget all variables (used between independent engine runs)."""
         cls._registry.clear()
+        _fp_memo.clear()
+
+    def __reduce__(self):
+        # Re-intern through the registry on unpickle: a variable of the
+        # same name in the receiving process IS this variable.
+        return (Sym, (self.name, self.lo, self.hi))
 
     def free_vars(self) -> FrozenSet["Sym"]:
         return frozenset((self,))
@@ -186,58 +205,61 @@ def is_symbolic(v: Value) -> bool:
 # Concrete evaluation
 # ---------------------------------------------------------------------------
 
+def _concrete_div(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("guest division by zero")
+    return a // b
+
+
+def _concrete_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("guest modulo by zero")
+    return a % b
+
+
+#: op name -> concrete implementation.  ``_eval`` is the hottest loop in
+#: the engine (every conc() shadow evaluation lands here), so dispatch is
+#: one dict lookup instead of a 19-arm if-chain.
+BINOP_FUNCS: Dict[str, object] = {
+    "add": operator.add,
+    "sub": operator.sub,
+    "mul": operator.mul,
+    "div": _concrete_div,
+    "mod": _concrete_mod,
+    "and": operator.and_,
+    "or": operator.or_,
+    "xor": operator.xor,
+    "shl": operator.lshift,
+    "shr": operator.rshift,
+    "eq": lambda a, b: int(a == b),
+    "ne": lambda a, b: int(a != b),
+    "lt": lambda a, b: int(a < b),
+    "le": lambda a, b: int(a <= b),
+    "gt": lambda a, b: int(a > b),
+    "ge": lambda a, b: int(a >= b),
+    "land": lambda a, b: int(bool(a) and bool(b)),
+    "lor": lambda a, b: int(bool(a) or bool(b)),
+}
+
+UNOP_FUNCS: Dict[str, object] = {
+    "neg": operator.neg,
+    "bnot": operator.invert,
+    "lnot": lambda a: int(a == 0),
+}
+
+
 def _apply_binop(op: str, a: int, b: int) -> int:
-    if op == "add":
-        return a + b
-    if op == "sub":
-        return a - b
-    if op == "mul":
-        return a * b
-    if op == "div":
-        if b == 0:
-            raise ZeroDivisionError("guest division by zero")
-        return a // b
-    if op == "mod":
-        if b == 0:
-            raise ZeroDivisionError("guest modulo by zero")
-        return a % b
-    if op == "and":
-        return a & b
-    if op == "or":
-        return a | b
-    if op == "xor":
-        return a ^ b
-    if op == "shl":
-        return a << b
-    if op == "shr":
-        return a >> b
-    if op == "eq":
-        return int(a == b)
-    if op == "ne":
-        return int(a != b)
-    if op == "lt":
-        return int(a < b)
-    if op == "le":
-        return int(a <= b)
-    if op == "gt":
-        return int(a > b)
-    if op == "ge":
-        return int(a >= b)
-    if op == "land":
-        return int(bool(a) and bool(b))
-    if op == "lor":
-        return int(bool(a) or bool(b))
-    raise ValueError(f"unknown binary operator {op!r}")
+    func = BINOP_FUNCS.get(op)
+    if func is None:
+        raise ValueError(f"unknown binary operator {op!r}")
+    return func(a, b)
 
 
 def _apply_unop(op: str, a: int) -> int:
-    if op == "neg":
-        return -a
-    if op == "bnot":
-        return ~a
-    if op == "lnot":
-        return int(a == 0)
-    raise ValueError(f"unknown unary operator {op!r}")
+    func = UNOP_FUNCS.get(op)
+    if func is None:
+        raise ValueError(f"unknown unary operator {op!r}")
+    return func(a)
 
 
 def _eval(expr: Value, env: Dict[str, int], memo: dict) -> int:
@@ -264,7 +286,7 @@ def _eval(expr: Value, env: Dict[str, int], memo: dict) -> int:
                 stack.append(a)
                 continue
             av = memo[id(a)] if isinstance(a, Expr) else a
-            memo[nid] = _apply_unop(node.op, av)
+            memo[nid] = UNOP_FUNCS[node.op](av)
             stack.pop()
         else:
             assert isinstance(node, BinExpr)
@@ -280,7 +302,7 @@ def _eval(expr: Value, env: Dict[str, int], memo: dict) -> int:
                 continue
             av = memo[id(a)] if isinstance(a, Expr) else a
             bv = memo[id(b)] if isinstance(b, Expr) else b
-            memo[nid] = _apply_binop(node.op, av, bv)
+            memo[nid] = BINOP_FUNCS[node.op](av, bv)
             stack.pop()
     return memo[key]
 
@@ -302,6 +324,8 @@ _intern: Dict[tuple, Expr] = {}
 def clear_intern_cache() -> None:
     """Drop the interning table (tests use this to bound memory)."""
     _intern.clear()
+    # Fingerprints memoize on id(); a cleared table recycles ids.
+    _fp_memo.clear()
 
 
 def _key_of(v: Value):
@@ -318,6 +342,185 @@ def _intern_bin(op: str, a: Value, b: Value) -> BinExpr:
         node.b = b
         _intern[key] = node
     return node  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Stable structural fingerprints
+# ---------------------------------------------------------------------------
+#
+# ``id()`` identifies an interned node only within one process.  Parallel
+# exploration ships expression graphs between processes, so cross-process
+# consumers (snapshot tests, model-cache delta merging, path identity)
+# need a name for a node that every process computes identically.  The
+# fingerprint is a 64-bit blake2b digest of the node's structure; it is
+# independent of interning order, process, and PYTHONHASHSEED.
+
+_fp_memo: Dict[int, int] = {}
+
+
+def _fp_digest(*parts) -> int:
+    payload = "\x1f".join(str(p) for p in parts).encode()
+    return int.from_bytes(blake2b(payload, digest_size=8).digest(), "big")
+
+
+def fingerprint(v: Value) -> int:
+    """Stable 64-bit structural fingerprint of a value (int or Expr).
+
+    Structurally identical expressions get identical fingerprints in
+    every process; memoized per interned node.
+    """
+    if not isinstance(v, Expr):
+        return _fp_digest("i", v)
+    memo = _fp_memo
+    hit = memo.get(id(v))
+    if hit is not None:
+        return hit
+    stack = [v]
+    while stack:
+        node = stack[-1]
+        nid = id(node)
+        if nid in memo:
+            stack.pop()
+            continue
+        if isinstance(node, Sym):
+            memo[nid] = _fp_digest("s", node.name, node.lo, node.hi)
+            stack.pop()
+        elif isinstance(node, UnExpr):
+            a = node.a
+            if isinstance(a, Expr) and id(a) not in memo:
+                stack.append(a)
+                continue
+            fa = memo[id(a)] if isinstance(a, Expr) else _fp_digest("i", a)
+            memo[nid] = _fp_digest("u", node.op, fa)
+            stack.pop()
+        else:
+            assert isinstance(node, BinExpr)
+            a, b = node.a, node.b
+            pushed = False
+            if isinstance(a, Expr) and id(a) not in memo:
+                stack.append(a)
+                pushed = True
+            if isinstance(b, Expr) and id(b) not in memo:
+                stack.append(b)
+                pushed = True
+            if pushed:
+                continue
+            fa = memo[id(a)] if isinstance(a, Expr) else _fp_digest("i", a)
+            fb = memo[id(b)] if isinstance(b, Expr) else _fp_digest("i", b)
+            memo[nid] = _fp_digest("b", node.op, fa, fb)
+            stack.pop()
+    return memo[id(v)]
+
+
+# ---------------------------------------------------------------------------
+# Iterative pickling codec
+# ---------------------------------------------------------------------------
+#
+# Expression graphs are serialized as a flat post-order instruction list;
+# operands reference earlier instruction indices.  Flattening and
+# rebuilding are both iterative, so arbitrarily deep graphs survive
+# pickling (a nested-constructor encoding recurses inside pickle's C
+# implementation and segfaults long before RecursionError can fire).
+# Shared subgraphs are emitted once per flatten call; separately pickled
+# values duplicate structure on the wire but re-intern to shared nodes on
+# load.
+
+def flatten_values(values) -> "tuple":
+    """Flatten Exprs/ints into ``(instrs, refs)`` with shared structure.
+
+    ``instrs`` is a tuple of instructions — ``("i", int)``, ``("s", name,
+    lo, hi)``, ``("u", op, aref)``, ``("b", op, aref, bref)`` — where refs
+    are indices of earlier instructions; ``refs[i]`` is the instruction
+    index of ``values[i]``.  Nodes shared between the given values are
+    emitted once.
+    """
+    instrs: list = []
+    memo: Dict[int, int] = {}
+    const_memo: Dict[int, int] = {}
+
+    def const_ref(v) -> int:
+        idx = const_memo.get(v)
+        if idx is None:
+            idx = len(instrs)
+            instrs.append(("i", v))
+            const_memo[v] = idx
+        return idx
+
+    for root in values:
+        if not isinstance(root, Expr):
+            const_ref(root)
+            continue
+        stack = [root]
+        while stack:
+            node = stack[-1]
+            nid = id(node)
+            if nid in memo:
+                stack.pop()
+                continue
+            if isinstance(node, Sym):
+                memo[nid] = len(instrs)
+                instrs.append(("s", node.name, node.lo, node.hi))
+                stack.pop()
+            elif isinstance(node, UnExpr):
+                a = node.a
+                if isinstance(a, Expr):
+                    if id(a) not in memo:
+                        stack.append(a)
+                        continue
+                    aref = memo[id(a)]
+                else:
+                    aref = const_ref(a)
+                memo[nid] = len(instrs)
+                instrs.append(("u", node.op, aref))
+                stack.pop()
+            else:
+                assert isinstance(node, BinExpr)
+                a, b = node.a, node.b
+                pushed = False
+                if isinstance(a, Expr) and id(a) not in memo:
+                    stack.append(a)
+                    pushed = True
+                if isinstance(b, Expr) and id(b) not in memo:
+                    stack.append(b)
+                    pushed = True
+                if pushed:
+                    continue
+                aref = memo[id(a)] if isinstance(a, Expr) else const_ref(a)
+                bref = memo[id(b)] if isinstance(b, Expr) else const_ref(b)
+                memo[nid] = len(instrs)
+                instrs.append(("b", node.op, aref, bref))
+                stack.pop()
+    refs = tuple(
+        memo[id(v)] if isinstance(v, Expr) else const_memo[v] for v in values
+    )
+    return tuple(instrs), refs
+
+
+def rebuild_values(instrs):
+    """Evaluate a :func:`flatten_values` instruction list to values.
+
+    Interned constructors (not mk_binop/mk_unop) rebuild each node: the
+    graph already survived canonicalisation when it was first built, so
+    its exact structure is restored and deduped against this process's
+    intern table.
+    """
+    vals: list = []
+    for ins in instrs:
+        tag = ins[0]
+        if tag == "i":
+            vals.append(ins[1])
+        elif tag == "s":
+            vals.append(Sym(ins[1], ins[2], ins[3]))
+        elif tag == "u":
+            vals.append(_intern_un(ins[1], vals[ins[2]]))
+        else:
+            vals.append(_intern_bin(ins[1], vals[ins[2]], vals[ins[3]]))
+    return vals
+
+
+def _rebuild_graph(instrs, ref):
+    """Unpickle target for a single flattened value."""
+    return rebuild_values(instrs)[ref]
 
 
 def _intern_un(op: str, a: Value) -> UnExpr:

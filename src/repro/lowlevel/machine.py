@@ -58,7 +58,14 @@ class MachineState:
             raise GuestFault("program must be finalized before execution")
         self.program = program
         self.frames: List[Frame] = []
-        self.memory = memory if memory is not None else CowMap(program.static_data)
+        # Static data rides along as the frozen bottom layer *by
+        # reference* (writes only ever land in upper layers): boot costs
+        # no copy, and snapshot deltas can diff against it in O(writes).
+        self.memory = (
+            memory
+            if memory is not None
+            else CowMap.from_base_and_delta(program.static_data, {})
+        )
         self.status = Status.RUNNING
         self.halt_code: Optional[int] = None
         self.output: List[int] = []

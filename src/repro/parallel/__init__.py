@@ -1,0 +1,35 @@
+"""Sharded parallel exploration across worker processes.
+
+The frontier of pending states is read-mostly by design (share-structure
+``ConstraintSet`` chains, an engine-wide ``ModelCache``), so it shards:
+a coordinator pops batches of pending states, ships them to
+``multiprocessing`` workers as portable snapshots, and deterministically
+merges the returned path records, new pending states and model-cache
+deltas.  See ``docs/architecture.md`` ("Parallel exploration").
+"""
+
+from repro.parallel.coordinator import (
+    ExploreResult,
+    ParallelExplorer,
+    PathRecord,
+    path_set,
+)
+from repro.parallel.snapshot import (
+    StateSnapshot,
+    boot_snapshot,
+    path_record_of,
+    restore_state,
+    snapshot_state,
+)
+
+__all__ = [
+    "ExploreResult",
+    "ParallelExplorer",
+    "PathRecord",
+    "StateSnapshot",
+    "boot_snapshot",
+    "path_record_of",
+    "path_set",
+    "restore_state",
+    "snapshot_state",
+]

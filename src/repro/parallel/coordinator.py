@@ -1,0 +1,306 @@
+"""Coordinator half of parallel exploration.
+
+:class:`ParallelExplorer` owns a pool of worker processes and a master
+:class:`ModelCache`.  Each round it pops a batch from the frontier,
+splits it into per-worker chunks (round-robin, deterministic), ships
+each chunk with the model-cache delta accumulated since the last
+broadcast, and merges the results **in chunk order** — so the merged
+record stream, the frontier contents and the master cache are a
+deterministic function of the frontier sequence, independent of worker
+scheduling.  Worker-discovered cache entries are folded into the master
+cache and re-broadcast to the whole pool with the next batch, which is
+what carries subset-UNSAT/superset-SAT reuse across process boundaries.
+
+For exhaustive runs the set of explored paths is identical to a serial
+run: feasibility verdicts do not depend on cache content, only the
+order of discovery does.  One caveat on *witness inputs*: when a branch
+atom admits several models and the parent's inherited model does not
+already satisfy it, the concrete model a state ends up with can come
+from a component-cache hit — and worker-local cache contents depend on
+which chunks the OS happened to hand that worker process.  The path
+*structure* (`path_key`, status) is always scheduling-independent;
+input-level identity additionally holds when suffix atoms are either
+satisfied by inherited models or uniquely determined (as in the CI
+workloads, which assert full `PathRecord.identity()` equality).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.lowlevel.executor import ExecutorConfig
+from repro.lowlevel.program import Program
+from repro.parallel.snapshot import StateSnapshot, boot_snapshot
+from repro.parallel.worker import WorkerResult, init_worker, run_batch
+from repro.solver.cache import ModelCache
+from repro.solver.constraints import ConstraintSet
+from repro.solver.csp import DEFAULT_BUDGET
+
+
+@dataclass(frozen=True)
+class _WorkerCounters:
+    """The slice of a :class:`WorkerResult` kept for stat aggregation.
+
+    Retaining the whole result would pin the last round's path records,
+    pending snapshots and cache delta for as long as the explorer lives.
+    """
+
+    engine_stats: Dict[str, int]
+    solver_stats: Dict[str, int]
+    cache_stats: Dict[str, int]
+    states_created: int
+
+
+def warn_if_custom_backend(solver) -> None:
+    """Warn when a non-default solver backend meets ``workers > 1``.
+
+    Workers rebuild a fresh :class:`~repro.solver.csp.CspSolver` each;
+    only the budget of a custom backend survives the trip.
+    """
+    from repro.solver.csp import CspSolver
+
+    if type(solver) is not CspSolver:
+        import warnings
+
+        warnings.warn(
+            "parallel exploration rebuilds a CspSolver in each worker "
+            f"process; the custom {type(solver).__name__} backend "
+            "is not shipped (only its budget is)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+@dataclass(frozen=True)
+class PathRecord:
+    """One terminated exploration path, condensed for the coordinator.
+
+    ``identity()`` is the cross-run comparison key: the concrete inputs,
+    the terminal status and the observable output.  ``path_key`` is the
+    stable structural fingerprint sequence of the path condition —
+    process-independent within one run (workers share a namespace).
+    """
+
+    status: str
+    halt_code: Optional[int]
+    fault_message: Optional[str]
+    inputs: Tuple[Tuple[str, Tuple[int, ...]], ...]
+    output: Tuple
+    events: Tuple[Tuple[int, int, int], ...]
+    instr_count: int
+    hl_instr_count: int
+    depth: int
+    path_key: Tuple[int, ...]
+    hl_trace: Tuple[Tuple[int, int], ...] = ()
+    path_constraints: Optional[ConstraintSet] = None
+
+    def identity(self) -> Tuple:
+        return (self.inputs, self.status, self.output)
+
+
+def path_set(records) -> FrozenSet[Tuple]:
+    """Comparison set over a record collection (order-insensitive)."""
+    return frozenset(r.identity() for r in records)
+
+
+@dataclass
+class ExploreResult:
+    """Outcome of one (serial or parallel) frontier exploration."""
+
+    records: List[PathRecord] = field(default_factory=list)
+    engine_stats: Dict[str, int] = field(default_factory=dict)
+    solver_stats: Dict[str, int] = field(default_factory=dict)
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+    coordinator_cache: Dict[str, int] = field(default_factory=dict)
+    workers: int = 1
+    batches: int = 0
+    states_run: int = 0
+    pending_left: int = 0
+    wall_time: float = 0.0
+
+    def path_set(self) -> FrozenSet[Tuple]:
+        return path_set(self.records)
+
+
+class ParallelExplorer:
+    """Shards frontier exploration across ``workers`` processes."""
+
+    def __init__(
+        self,
+        program: Program,
+        workers: int = 2,
+        config: Optional[ExecutorConfig] = None,
+        solver_budget: int = DEFAULT_BUDGET,
+        namespace: Optional[str] = None,
+        batch_size: int = 8,
+        trace_hlpc: bool = False,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if not program.finalized:
+            program.finalize()
+        self.program = program
+        self.workers = workers
+        self.exec_config = config if config is not None else ExecutorConfig()
+        self.solver_budget = solver_budget
+        if namespace is None:
+            from repro.lowlevel.executor import fresh_namespace
+
+            namespace = fresh_namespace("p")
+        self.namespace = namespace
+        self.batch_size = batch_size
+        self.trace_hlpc = trace_hlpc
+        #: master model cache; worker deltas are folded here and
+        #: re-broadcast with the next batch.
+        self.master_cache = ModelCache()
+        #: per-worker-pid journal high-water marks: the master-cache mark
+        #: each worker is known to have merged up to.  Broadcasts cover
+        #: the delta since the *lowest* mark (0 until every worker has
+        #: reported once), so a worker that sat out a round still catches
+        #: up later; receivers dedup re-shipped entries by fingerprint.
+        self._pid_marks: Dict[int, int] = {}
+        self._pool = None
+        self._latest_by_pid: Dict[int, _WorkerCounters] = {}
+        self.batches = 0
+
+    # -- pool lifecycle -------------------------------------------------------
+
+    def start(self) -> "ParallelExplorer":
+        if self._pool is not None:
+            return self
+        # A fresh pool means fresh worker processes: drop the dead pool's
+        # cumulative per-pid counters (aggregate() would double-count
+        # them) and its broadcast marks (new workers know nothing yet;
+        # pids can even be recycled by the OS).
+        self._latest_by_pid.clear()
+        self._pid_marks.clear()
+        self.batches = 0
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        self._pool = ctx.Pool(
+            self.workers,
+            initializer=init_worker,
+            initargs=(
+                self.program,
+                self.exec_config,
+                self.namespace,
+                self.solver_budget,
+                self.trace_hlpc,
+            ),
+        )
+        return self
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExplorer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- batched execution ----------------------------------------------------
+
+    def submit(self, snapshots: List[StateSnapshot]) -> List[WorkerResult]:
+        """Run one batch across the pool; deterministic merge order.
+
+        Chunks are dealt round-robin; results come back in chunk order
+        regardless of which worker ran which chunk, and worker cache
+        deltas are folded into the master cache in that same order.
+        """
+        if self._pool is None:
+            raise RuntimeError("ParallelExplorer pool is not started")
+        if not snapshots:
+            return []
+        chunk_count = min(self.workers, len(snapshots))
+        chunks = [snapshots[i::chunk_count] for i in range(chunk_count)]
+        if len(self._pid_marks) >= self.workers:
+            base_mark = min(self._pid_marks.values())
+        else:
+            base_mark = 0  # some worker has never reported; it knows nothing
+        delta = self.master_cache.export_delta(base_mark)
+        round_mark = self.master_cache.journal_mark()
+        results = self._pool.map(run_batch, [(chunk, delta) for chunk in chunks], chunksize=1)
+        for result in results:
+            self.master_cache.merge(result.cache_delta)
+            self._latest_by_pid[result.pid] = _WorkerCounters(
+                engine_stats=result.engine_stats,
+                solver_stats=result.solver_stats,
+                cache_stats=result.cache_stats,
+                states_created=result.states_created,
+            )
+            # This worker merged [base_mark, round_mark) on top of its own
+            # previous mark (>= base_mark), so it now holds the full prefix.
+            self._pid_marks[result.pid] = round_mark
+        self.batches += 1
+        return results
+
+    # -- high-level exhaustive exploration ------------------------------------
+
+    def explore(self, max_states: int = 512) -> ExploreResult:
+        """Explore from boot until the frontier drains or ``max_states``.
+
+        ``max_states`` bounds activated (sat) states, checked between
+        batches — a batch may overshoot by at most one round.
+        """
+        start_time = time.monotonic()
+        own_pool = self._pool is None
+        if own_pool:
+            self.start()
+        frontier: List[StateSnapshot] = [boot_snapshot(self.program)]
+        records: List[PathRecord] = []
+        states_run = 0
+        try:
+            while frontier and states_run < max_states:
+                take = min(
+                    len(frontier),
+                    self.workers * self.batch_size,
+                    max_states - states_run,
+                )
+                batch = [frontier.pop() for _ in range(take)]
+                for result in self.submit(batch):
+                    records.extend(result.records)
+                    frontier.extend(result.pending)
+                    states_run += sum(1 for v in result.verdicts if v == "sat")
+        finally:
+            if own_pool:
+                self.close()
+        return ExploreResult(
+            records=records,
+            engine_stats=self.aggregate("engine_stats"),
+            solver_stats=self.aggregate("solver_stats"),
+            cache_stats=self.aggregate("cache_stats"),
+            coordinator_cache=self.master_cache.stats_dict(),
+            workers=self.workers,
+            batches=self.batches,
+            states_run=states_run,
+            pending_left=len(frontier),
+            wall_time=time.monotonic() - start_time,
+        )
+
+    # -- statistics -----------------------------------------------------------
+
+    def aggregate(self, kind: str) -> Dict[str, int]:
+        """Sum a cumulative per-worker counter dict across the pool."""
+        totals: Dict[str, int] = {}
+        for result in self._latest_by_pid.values():
+            for key, value in getattr(result, kind).items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def states_created(self) -> int:
+        """Distinct states ever created across the pool, boot included.
+
+        Matches the serial engine's ``_next_sid`` semantics: workers
+        report only the forks they created (restores are excluded on the
+        worker side), and the boot state is counted once here.
+        """
+        if not self._latest_by_pid:
+            return 0
+        return 1 + sum(r.states_created for r in self._latest_by_pid.values())

@@ -1,0 +1,221 @@
+"""Portable state snapshots: ship execution states between processes.
+
+A :class:`StateSnapshot` is everything a worker needs to resume a state
+except the (immutable, shipped-once) :class:`~repro.lowlevel.program.Program`:
+frames by function *name*, memory as a compact delta against the
+program's static data, the path condition as a flattened
+:class:`~repro.solver.constraints.ConstraintSet` (atoms re-intern on
+unpickle, the nearest known model rides along), and the concolic
+assignment/seed bookkeeping.  ``restore_state`` rebuilds a live
+:class:`~repro.lowlevel.executor.State` against the receiving process's
+copy of the program.
+
+:func:`path_record_of` condenses a terminated state into the
+coordinator-facing :class:`~repro.parallel.coordinator.PathRecord`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.lowlevel.cow import CowMap
+from repro.lowlevel.expr import Expr, fingerprint, flatten_values, rebuild_values
+from repro.lowlevel.machine import Frame, MachineState, Status
+from repro.lowlevel.program import Program
+from repro.solver.constraints import ConstraintSet
+
+
+@dataclass
+class StateSnapshot:
+    """Picklable image of one execution state (program shipped separately)."""
+
+    frames: Tuple[Tuple[str, int, Tuple, Optional[int]], ...]
+    mem_changed: Dict
+    mem_deleted: Tuple
+    status: str
+    halt_code: Optional[int]
+    output: Tuple
+    path_condition: ConstraintSet
+    assignment: Optional[Dict[str, int]]
+    seed_assignment: Dict[str, int]
+    pending: bool
+    fork_ll_pc: Optional[int]
+    fork_group: Optional[Tuple]
+    fork_index: int
+    depth: int
+    instr_count: int
+    hl_instr_count: int
+    events: Tuple[Tuple[int, int, int], ...]
+    sym_buffers: Tuple[Tuple[str, int, int, int, int], ...]
+    meta: Dict
+    #: shared flat encoding of every Expr in frames/mem_changed (one
+    #: :func:`flatten_values` call, so subgraphs shared between values —
+    #: e.g. a loop accumulator spine stored into successive cells — are
+    #: emitted once); values reference it as ``("x", i)`` markers.
+    expr_instrs: Tuple = ()
+    expr_refs: Tuple = ()
+
+
+def snapshot_state(state) -> StateSnapshot:
+    """Encode ``state`` as a portable snapshot.
+
+    ``CowMap`` layer chains are flattened to a single delta against the
+    program's static data; expression values in registers/memory are
+    encoded through one shared :func:`flatten_values` call (subgraphs
+    shared between values are emitted once) and re-intern on restore.
+    """
+    machine = state.machine
+    changed, deleted = machine.memory.delta_against(machine.program.static_data)
+
+    exprs: list = []
+    indexes: Dict[int, int] = {}
+
+    def encode(v):
+        if not isinstance(v, Expr):
+            return v
+        idx = indexes.get(id(v))
+        if idx is None:
+            idx = indexes[id(v)] = len(exprs)
+            exprs.append(v)
+        return ("x", idx)
+
+    frames = tuple(
+        (f.func.name, f.pc, tuple(encode(r) for r in f.regs), f.ret_dst)
+        for f in machine.frames
+    )
+    changed = {key: encode(value) for key, value in changed.items()}
+    instrs, refs = flatten_values(exprs)
+    return StateSnapshot(
+        frames=frames,
+        mem_changed=changed,
+        mem_deleted=deleted,
+        status=machine.status,
+        halt_code=machine.halt_code,
+        output=tuple(machine.output),
+        path_condition=state.path_condition,
+        assignment=None if state.assignment is None else dict(state.assignment),
+        seed_assignment=dict(state.seed_assignment),
+        pending=state.pending,
+        fork_ll_pc=state.fork_ll_pc,
+        fork_group=state.fork_group,
+        fork_index=state.fork_index,
+        depth=state.depth,
+        instr_count=state.instr_count,
+        hl_instr_count=state.hl_instr_count,
+        events=tuple((e.kind, e.a, e.b) for e in state.events),
+        sym_buffers=tuple(state.sym_buffers),
+        meta=_portable_meta(state.meta),
+        expr_instrs=instrs,
+        expr_refs=refs,
+    )
+
+
+def boot_snapshot(program: Program) -> StateSnapshot:
+    """Snapshot of a freshly booted (never executed) state."""
+    entry = program.get_function(program.entry)
+    return StateSnapshot(
+        frames=((entry.name, 0, (0,) * entry.n_regs, None),),
+        mem_changed={},
+        mem_deleted=(),
+        status=Status.RUNNING,
+        halt_code=None,
+        output=(),
+        path_condition=ConstraintSet.empty(),
+        assignment={},
+        seed_assignment={},
+        pending=False,
+        fork_ll_pc=None,
+        fork_group=None,
+        fork_index=0,
+        depth=0,
+        instr_count=0,
+        hl_instr_count=0,
+        events=(),
+        sym_buffers=(),
+        meta={},
+    )
+
+
+def restore_state(snap: StateSnapshot, program: Program, sid: int):
+    """Rebuild a live :class:`State` from a snapshot in this process."""
+    from repro.lowlevel.executor import PathEvent, State
+
+    values = rebuild_values(snap.expr_instrs)
+
+    def decode(v):
+        if type(v) is tuple and len(v) == 2 and v[0] == "x":
+            return values[snap.expr_refs[v[1]]]
+        return v
+
+    machine = MachineState.__new__(MachineState)
+    machine.program = program
+    machine.frames = []
+    for name, pc, regs, ret_dst in snap.frames:
+        frame = Frame.__new__(Frame)
+        frame.func = program.get_function(name)
+        frame.pc = pc
+        frame.regs = [decode(r) for r in regs]
+        frame.ret_dst = ret_dst
+        machine.frames.append(frame)
+    machine.memory = CowMap.from_base_and_delta(
+        program.static_data,
+        {key: decode(value) for key, value in snap.mem_changed.items()},
+        snap.mem_deleted,
+    )
+    machine.status = snap.status
+    machine.halt_code = snap.halt_code
+    machine.output = list(snap.output)
+
+    state = State(sid, machine)
+    state.path_condition = snap.path_condition
+    state.assignment = None if snap.assignment is None else dict(snap.assignment)
+    state.seed_assignment = dict(snap.seed_assignment)
+    state.pending = snap.pending
+    state.fork_ll_pc = snap.fork_ll_pc
+    state.fork_group = snap.fork_group
+    state.fork_index = snap.fork_index
+    state.depth = snap.depth
+    state.instr_count = snap.instr_count
+    state.hl_instr_count = snap.hl_instr_count
+    state.events = [PathEvent(kind=k, a=a, b=b) for k, a, b in snap.events]
+    state.sym_buffers = list(snap.sym_buffers)
+    state.meta = dict(snap.meta)
+    if "hl_trace" in state.meta:
+        state.meta["hl_trace"] = list(state.meta["hl_trace"])
+    return state
+
+
+def _portable_meta(meta: Dict) -> Dict:
+    """Copy the scratch meta dict, materialising the HLPC trace."""
+    out = dict(meta)
+    trace = out.get("hl_trace")
+    if trace is not None:
+        out["hl_trace"] = tuple(trace)
+    # Coordinator-local bookkeeping that is meaningless across processes.
+    out.pop("dyn_node", None)
+    return out
+
+
+def path_record_of(state):
+    """Condense a terminated state into a :class:`PathRecord`."""
+    from repro.parallel.coordinator import PathRecord
+
+    return PathRecord(
+        status=state.machine.status,
+        halt_code=state.machine.halt_code,
+        fault_message=state.fault_message,
+        inputs=tuple(
+            (name, tuple(values)) for name, values in sorted(state.input_values().items())
+        ),
+        output=tuple(state.machine.output),
+        events=tuple((e.kind, e.a, e.b) for e in state.events),
+        instr_count=state.instr_count,
+        hl_instr_count=state.hl_instr_count,
+        depth=state.depth,
+        path_key=tuple(
+            fingerprint(a) for a in state.path_condition.atoms() if isinstance(a, Expr)
+        ),
+        hl_trace=tuple(state.meta.get("hl_trace", ())),
+        path_constraints=state.path_condition,
+    )

@@ -1,0 +1,136 @@
+"""Worker-process half of parallel exploration.
+
+Each worker owns a private :class:`LowLevelEngine` (same program, same
+symbolic-variable namespace as the coordinator, an isolated
+:class:`ModelCache`).  Per task it first folds the coordinator's
+model-cache delta into its cache, then activates and runs every state in
+the batch, and returns terminated-path records, snapshots of the new
+pending alternates, its cumulative counters, and the cache entries it
+discovered since the merge (for the coordinator to fold and re-broadcast).
+
+Counters are cumulative per worker process; the coordinator keeps the
+latest result per pid and sums at the end, so batch boundaries do not
+double-count.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lowlevel.executor import ExecutorConfig, LowLevelEngine
+from repro.lowlevel.program import Program
+from repro.parallel.snapshot import StateSnapshot, path_record_of, restore_state, snapshot_state
+from repro.solver.cache import ModelCache
+from repro.solver.csp import CspSolver
+
+_ENGINE: Optional[LowLevelEngine] = None
+
+#: Cumulative count of snapshots this worker has restored.  Restoring
+#: consumes a fresh sid for a state that was already counted (as a fork,
+#: or as the boot state) wherever it was created, so it is subtracted
+#: from the reported states_created to keep the coordinator's total
+#: comparable to a serial run.
+_RESTORED = 0
+
+
+@dataclass
+class WorkerResult:
+    """Everything one worker returns for one batch."""
+
+    pid: int
+    records: List = field(default_factory=list)
+    pending: List[StateSnapshot] = field(default_factory=list)
+    #: verdicts of activation per input state ("sat"/"unsat"/"timeout").
+    verdicts: Tuple[str, ...] = ()
+    #: cumulative engine counters for this worker process.
+    engine_stats: Dict[str, int] = field(default_factory=dict)
+    #: cumulative solver counters for this worker process.
+    solver_stats: Dict[str, int] = field(default_factory=dict)
+    #: cumulative model-cache counters for this worker process.
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: portable cache entries discovered during this batch.
+    cache_delta: List = field(default_factory=list)
+    #: states this worker has *created* (forks), excluding snapshots it
+    #: merely restored — those are counted where they were first created.
+    states_created: int = 0
+
+
+def init_worker(
+    program: Program,
+    exec_config: ExecutorConfig,
+    namespace: str,
+    solver_budget: int,
+    trace_hlpc: bool = False,
+) -> None:
+    """Pool initializer: build this process's engine once."""
+    global _ENGINE
+    engine = LowLevelEngine(
+        program,
+        solver=CspSolver(budget=solver_budget, cache=ModelCache()),
+        config=exec_config,
+    )
+    # All workers and the coordinator must agree on symbolic variable
+    # names; override the per-process engine counter namespace.
+    engine.namespace = namespace
+    if trace_hlpc:
+        _attach_hlpc_tracing(engine)
+    _ENGINE = engine
+
+
+def _attach_hlpc_tracing(engine: LowLevelEngine) -> None:
+    """Record the (hlpc, opcode) stream per state for coordinator replay."""
+
+    def on_log_pc(state, pc: int, opcode: int) -> None:
+        trace = state.meta.get("hl_trace")
+        if trace is None:
+            trace = state.meta["hl_trace"] = []
+        trace.append((pc, opcode))
+
+    def on_fork(parent, child) -> None:
+        child.meta = dict(parent.meta)
+        trace = child.meta.get("hl_trace")
+        if trace is not None:
+            child.meta["hl_trace"] = list(trace)
+
+    engine.on_log_pc = on_log_pc
+    engine.on_fork = on_fork
+
+
+def run_batch(task: Tuple[List[StateSnapshot], List]) -> WorkerResult:
+    """Run one batch of snapshots; see module docstring for the protocol."""
+    global _RESTORED
+    snapshots, delta = task
+    engine = _ENGINE
+    assert engine is not None, "worker used before init_worker ran"
+    _RESTORED += len(snapshots)
+    cache = engine.solver.cache
+    cache.merge(delta)
+    mark = cache.journal_mark()
+
+    records: List = []
+    pending: List[StateSnapshot] = []
+    verdicts: List[str] = []
+    for snap in snapshots:
+        state = restore_state(snap, engine.program, engine._fresh_sid())
+        verdict = engine.activate(state)
+        verdicts.append(verdict)
+        if verdict != "sat":
+            continue
+        children = engine.run_path(state)
+        pending.extend(snapshot_state(child) for child in children)
+        if state.terminated():
+            records.append(path_record_of(state))
+
+    return WorkerResult(
+        pid=os.getpid(),
+        records=records,
+        pending=pending,
+        verdicts=tuple(verdicts),
+        engine_stats=engine.stats.as_dict(),
+        solver_stats=engine.solver.stats.as_dict(),
+        cache_stats=cache.stats_dict(),
+        cache_delta=cache.export_delta(mark),
+        states_created=engine._next_sid - _RESTORED,
+    )

@@ -29,9 +29,9 @@ tests).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.lowlevel.expr import Expr
+from repro.lowlevel.expr import Expr, fingerprint
 
 #: Sentinel stored (and returned) for unsatisfiable entries.
 UNSAT = "unsat"
@@ -50,6 +50,7 @@ class ModelCache:
         max_entries: int = 8192,
         max_models: int = 64,
         scan_limit: int = 128,
+        max_journal: int = 8192,
     ):
         #: key → model dict or UNSAT, most recently used last.
         self._entries: "OrderedDict[FrozenSet[int], object]" = OrderedDict()
@@ -62,6 +63,24 @@ class ModelCache:
         self.superset_hits = 0
         self.misses = 0
         self.stores = 0
+        # -- cross-process delta protocol ----------------------------------
+        #: append-only journal of portable entries: (fingerprint key,
+        #: atom tuple, result).  Atoms re-intern on unpickle, so a journal
+        #: slice shipped to another process re-keys itself there.
+        self._journal: List[Tuple[FrozenSet[int], Tuple[Expr, ...], object]] = []
+        self._journal_base = 0
+        self._max_journal = max_journal
+        #: fingerprint keys of live journaled/merged entries (dedup guard
+        #: for re-broadcast entries); pruned on LRU eviction so a
+        #: re-discovered verdict can be journaled again.
+        self._known_fps: set = set()
+        #: local key -> fingerprint key, for that eviction-time pruning.
+        self._fp_of_key: Dict[FrozenSet[int], FrozenSet[int]] = {}
+        #: local keys that arrived via merge(); hits on them are counted
+        #: separately as cross-worker reuse.
+        self._merged_keys: set = set()
+        self.merged_stores = 0
+        self.merged_hits = 0
 
     @staticmethod
     def key_for(atoms) -> FrozenSet[int]:
@@ -84,6 +103,8 @@ class ModelCache:
         if exact is not None:
             entries.move_to_end(key)
             self.hits += 1
+            if key in self._merged_keys:
+                self.merged_hits += 1
             return (HIT_EXACT, exact)
         scanned = 0
         for cached_key in reversed(entries):
@@ -95,27 +116,103 @@ class ModelCache:
                 if cached_key <= key:
                     entries.move_to_end(cached_key)
                     self.subset_hits += 1
+                    if cached_key in self._merged_keys:
+                        self.merged_hits += 1
                     return (HIT_SUBSET_UNSAT, UNSAT)
             elif key <= cached_key:
                 entries.move_to_end(cached_key)
                 self.superset_hits += 1
+                if cached_key in self._merged_keys:
+                    self.merged_hits += 1
                 return (HIT_SUPERSET_SAT, result)
         self.misses += 1
         return None
 
     # -- store ----------------------------------------------------------------
 
-    def store(self, key: FrozenSet[int], result) -> None:
-        """Record a verdict: a model dict or :data:`UNSAT`."""
+    def store(self, key: FrozenSet[int], result, atoms: Optional[Sequence] = None) -> None:
+        """Record a verdict: a model dict or :data:`UNSAT`.
+
+        When ``atoms`` (the expressions behind ``key``) are supplied and
+        the key is new, the entry is also journaled in portable form so
+        :meth:`export_delta` can ship it to other processes.
+        """
         if not key:
             return
+        is_new = key not in self._entries
+        if not is_new:
+            # A locally recomputed verdict replaces whatever was merged
+            # in; its hits are local reuse, not cross-worker reuse.
+            self._merged_keys.discard(key)
         self._entries[key] = result
         self._entries.move_to_end(key)
         self.stores += 1
         while len(self._entries) > self._max_entries:
-            self._entries.popitem(last=False)
+            evicted_key, _ = self._entries.popitem(last=False)
+            fp_key = self._fp_of_key.pop(evicted_key, None)
+            if fp_key is not None:
+                self._known_fps.discard(fp_key)
+            self._merged_keys.discard(evicted_key)
+        if is_new and atoms is not None:
+            self._journal_entry(key, tuple(atoms), result)
         if isinstance(result, dict):
             self.remember_solution(result)
+
+    def _journal_entry(self, key: FrozenSet[int], atoms: Tuple[Expr, ...], result) -> None:
+        fp_key = frozenset(fingerprint(a) for a in atoms)
+        if fp_key in self._known_fps:
+            return
+        self._known_fps.add(fp_key)
+        self._fp_of_key[key] = fp_key
+        payload = dict(result) if isinstance(result, dict) else result
+        self._journal.append((fp_key, atoms, payload))
+        overflow = len(self._journal) - self._max_journal
+        if overflow > 0:
+            # Roll the window; stale marks just export less (sound: a
+            # missing delta entry only costs reuse, never correctness).
+            del self._journal[:overflow]
+            self._journal_base += overflow
+
+    # -- cross-process delta protocol ------------------------------------------
+
+    def journal_mark(self) -> int:
+        """Opaque high-water mark for :meth:`export_delta`."""
+        return self._journal_base + len(self._journal)
+
+    def export_delta(self, mark: int = 0) -> List[Tuple[FrozenSet[int], Tuple[Expr, ...], object]]:
+        """Portable entries journaled since ``mark`` (see journal_mark).
+
+        The returned list pickles cleanly: atoms re-intern themselves on
+        load, so the receiver re-keys each entry under its own interned
+        ids via :meth:`merge`.
+        """
+        start = max(mark - self._journal_base, 0)
+        return self._journal[start:]
+
+    def merge(self, delta: Sequence[Tuple[FrozenSet[int], Tuple[Expr, ...], object]]) -> int:
+        """Fold another process's exported delta into this cache.
+
+        Entries already known (by fingerprint or by local key) are
+        skipped; newly adopted entries are journaled onward, so a
+        coordinator can re-broadcast worker deltas to the rest of the
+        pool.  Returns the number of entries adopted.
+        """
+        adopted = 0
+        for fp_key, atoms, result in delta:
+            if fp_key in self._known_fps:
+                continue
+            key = self.key_for(atoms)
+            if not key or key in self._entries:
+                self._known_fps.add(fp_key)
+                if key:
+                    self._fp_of_key.setdefault(key, fp_key)
+                continue
+            self.store(key, dict(result) if isinstance(result, dict) else result,
+                       atoms=atoms)
+            self._merged_keys.add(key)
+            self.merged_stores += 1
+            adopted += 1
+        return adopted
 
     def remember_solution(self, solution: Dict[str, int]) -> None:
         """Keep a model for cross-query counterexample reuse."""
@@ -140,6 +237,13 @@ class ModelCache:
         self.superset_hits = 0
         self.misses = 0
         self.stores = 0
+        self._journal.clear()
+        self._journal_base = 0
+        self._known_fps.clear()
+        self._fp_of_key.clear()
+        self._merged_keys.clear()
+        self.merged_stores = 0
+        self.merged_hits = 0
 
     def stats_dict(self) -> Dict[str, int]:
         return {
@@ -149,6 +253,8 @@ class ModelCache:
             "misses": self.misses,
             "stores": self.stores,
             "entries": len(self._entries),
+            "merged_stores": self.merged_stores,
+            "merged_hits": self.merged_hits,
         }
 
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
-from repro.lowlevel.expr import Expr
+from repro.lowlevel.expr import Expr, flatten_values, rebuild_values
 
 Atom = object  #: an Expr, or a concrete int (trivially true/false)
 
@@ -107,6 +107,34 @@ class ConstraintSet:
     def key(self) -> Tuple[int, ...]:
         """Stable identity key (interned-atom ids, oldest first)."""
         return tuple(id(a) if isinstance(a, Expr) else hash(("c", a)) for a in self.atoms())
+
+    # -- portable snapshots ---------------------------------------------------
+
+    def __reduce__(self):
+        """Pickle as (prefix atoms, nearest known model, suffix atoms).
+
+        The chain is flattened so unpickling is iterative (no recursion
+        over parent links) and the nearest ancestor known-model — the
+        thing that makes sibling queries cheap — survives the trip.
+        All atoms are flattened through one shared
+        :func:`~repro.lowlevel.expr.flatten_values` call, so expression
+        structure shared between atoms (the common case: each loop
+        iteration's atom builds on the previous accumulator) is encoded
+        once instead of once per atom.  Atoms re-intern on load, so a
+        restored set keys into the receiving process's caches exactly
+        like a native one.
+        """
+        model, prefix, suffix = self.split_at_model()
+        instrs, refs = flatten_values(prefix + suffix)
+        return (
+            _restore_chain,
+            (
+                instrs,
+                refs[: len(prefix)],
+                None if model is None else dict(model),
+                refs[len(prefix):],
+            ),
+        )
 
     def __repr__(self) -> str:
         return f"ConstraintSet(|atoms|={self._length}, model={'yes' if self._model is not None else 'no'})"
@@ -230,6 +258,15 @@ class ConstraintSet:
             node = node.parent
         suffix.reverse()
         return None, [], suffix
+
+
+def _restore_chain(instrs, prefix_refs, model, suffix_refs) -> ConstraintSet:
+    """Rebuild a pickled chain; see :meth:`ConstraintSet.__reduce__`."""
+    values = rebuild_values(instrs)
+    node = ConstraintSet.from_atoms(values[r] for r in prefix_refs)
+    if model is not None:
+        node.note_model(model)
+    return node.extend(values[r] for r in suffix_refs)
 
 
 __all__ = ["ConstraintSet"]

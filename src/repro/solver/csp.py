@@ -473,7 +473,7 @@ class CspSolver(SolverBackend):
             )
             if reuse is not None:
                 stats.cex_reuses += 1
-                self.cache.store(key, dict(reuse))
+                self.cache.store(key, dict(reuse), atoms=comp.constraints)
                 solution.update(reuse)
                 continue
             result, used = self._search_component(
@@ -482,10 +482,10 @@ class CspSolver(SolverBackend):
             steps_used += used
             stats.search_steps += used
             if result is None:
-                self.cache.store(key, UNSAT_ENTRY)
+                self.cache.store(key, UNSAT_ENTRY, atoms=comp.constraints)
                 unsat = True
                 break
-            self.cache.store(key, dict(result))
+            self.cache.store(key, dict(result), atoms=comp.constraints)
             solution.update(result)
 
         if sliced:

@@ -8,7 +8,7 @@ reports their concrete behaviour (output, exception, coverage).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Set
 
 from repro.chef.engine import RunResult
@@ -39,9 +39,14 @@ class SymbolicTestRunner:
         test: SymbolicTest,
         config: Optional[ChefConfig] = None,
         solver: Optional[SolverBackend] = None,
+        workers: Optional[int] = None,
     ):
         self.test = test
         self.config = config if config is not None else ChefConfig()
+        if workers is not None:
+            # Shard symbolic-mode exploration across worker processes
+            # (replay mode is unaffected); don't mutate the caller's config.
+            self.config = replace(self.config, workers=workers)
         self.solver = solver
         driver = test.build_driver()
         self.full_source = package_source.rstrip("\n") + "\n\n" + driver

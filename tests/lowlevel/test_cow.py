@@ -3,7 +3,50 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.lowlevel.cow import CowMap
+from repro.lowlevel.cow import _MAX_DEPTH, CowMap
+
+
+class TestForkCompaction:
+    """Regression: fork() compacts the shared chain once, up front."""
+
+    def test_layer_depth_bounded_after_repeated_forks(self):
+        m = CowMap({0: 0})
+        children = []
+        for i in range(10 * _MAX_DEPTH):
+            m[i] = i
+            children.append(m.fork())
+        assert len(m._layers) <= _MAX_DEPTH + 1
+        for child in children:
+            assert len(child._layers) <= _MAX_DEPTH + 1
+
+    def test_child_shares_compacted_layer_with_parent(self):
+        m = CowMap()
+        # Build the chain to exactly the compaction threshold.
+        while len(m._layers) < _MAX_DEPTH:
+            m[len(m._layers)] = 1
+            m.fork()
+        m[999] = 999
+        child = m.fork()  # push exceeds _MAX_DEPTH: compaction fires
+        assert len(m._layers) == 1
+        # One flatten serves both maps: the child references the same
+        # compacted layer object instead of flattening the chain again.
+        assert child._layers[0] is m._layers[0]
+        assert child.to_dict() == m.to_dict()
+
+    def test_contents_correct_after_compaction(self):
+        m = CowMap({0: "base"})
+        expected = {0: "base"}
+        forks = []
+        for i in range(1, 3 * _MAX_DEPTH):
+            m[i] = i * 10
+            expected[i] = i * 10
+            if i == 5:
+                del m[0]
+                del expected[0]
+            forks.append((m.fork(), dict(expected)))
+        assert m.to_dict() == expected
+        for fork, frozen in forks:
+            assert fork.to_dict() == frozen
 
 
 class TestBasics:
@@ -126,3 +169,53 @@ def test_cowmap_matches_dict_model(ops):
         # except that these forks were of the *same* underlying map and we
         # kept mutating the original; forks must show the state at fork time.
         assert snap_cow.to_dict() == snap_model
+
+
+class TestSnapshotDelta:
+    def test_delta_fast_path_matches_slow_path(self):
+        base = {i: i * 10 for i in range(50)}
+        fast = CowMap.from_base_and_delta(base, {})
+        slow = CowMap(base)  # base copied into a private layer
+        for cow in (fast, slow):
+            cow[1] = 111          # changed
+            cow[100] = 5          # added
+            del cow[2]            # deleted from base
+            cow[3] = 30           # written equal to base value
+            cow[101] = 7
+            del cow[101]          # added then deleted: absent everywhere
+        child_fast = fast.fork()  # push writes into a layer above base
+        child_fast[102] = 9
+        assert fast._layers[0] is base  # fast path actually applies
+        changed_f, deleted_f = fast.delta_against(base)
+        changed_s, deleted_s = slow.delta_against(base)
+        assert changed_f == changed_s == {1: 111, 100: 5}
+        assert set(deleted_f) == set(deleted_s) == {2}
+        restored = CowMap.from_base_and_delta(base, changed_f, deleted_f)
+        assert restored.to_dict() == fast.to_dict()
+        changed_c, deleted_c = child_fast.delta_against(base)
+        assert changed_c == {1: 111, 100: 5, 102: 9}
+        assert set(deleted_c) == {2}
+
+
+class TestBasePreservingCompaction:
+    def test_base_layer_survives_deep_fork_lineage(self):
+        base = {i: i * 10 for i in range(40)}
+        m = CowMap.from_base_and_delta(base, {})
+        expected = dict(base)
+        for i in range(3 * _MAX_DEPTH):
+            m[1000 + i] = i
+            expected[1000 + i] = i
+            if i == 4:
+                del m[7]
+                del expected[7]
+            m = m.fork()
+        # Compaction fired several times, yet the shared base is still
+        # the bottom layer and the chain stays bounded.
+        assert m._layers[0] is base
+        assert len(m._layers) <= _MAX_DEPTH + 2
+        assert m.to_dict() == expected
+        changed, deleted = m.delta_against(base)
+        assert set(deleted) == {7}
+        assert 7 not in changed
+        restored = CowMap.from_base_and_delta(base, changed, deleted)
+        assert restored.to_dict() == expected

@@ -120,6 +120,30 @@ class TestEvaluation:
         expr = mk_binop("add", shared, shared)
         assert evaluate(expr, {"tx_x": 3}) == 42
 
+    def test_dispatch_tables_cover_operator_sets_exactly(self):
+        # The table-dispatched _eval assumes every declared operator has
+        # an entry (and nothing undeclared sneaks in).
+        from repro.lowlevel.expr import BINOP_FUNCS, BINOPS, UNOP_FUNCS, UNOPS
+
+        assert set(BINOP_FUNCS) == BINOPS
+        assert set(UNOP_FUNCS) == UNOPS
+
+    def test_unknown_operator_still_raises(self):
+        from repro.lowlevel.expr import _apply_binop, _apply_unop
+
+        with pytest.raises(ValueError):
+            _apply_binop("nope", 1, 2)
+        with pytest.raises(ValueError):
+            _apply_unop("nope", 1)
+
+    def test_division_by_zero_still_raises_through_table(self):
+        from repro.lowlevel.expr import _apply_binop
+
+        with pytest.raises(ZeroDivisionError):
+            _apply_binop("div", 1, 0)
+        with pytest.raises(ZeroDivisionError):
+            _apply_binop("mod", 1, 0)
+
 
 class TestConditions:
     def test_negate_comparison(self, x):
@@ -183,3 +207,36 @@ class TestProperties:
         if isinstance(e1, int):
             return
         assert evaluate(e1, {"tx_int1": w}) == evaluate(e2, {"tx_int1": w})
+
+
+class TestPickling:
+    def test_deep_chain_pickles_iteratively(self):
+        # A hash-like loop over a symbolic buffer builds chains this deep;
+        # a recursive pickle encoding segfaults (C stack) long before
+        # RecursionError.  The flat-instruction codec must survive it.
+        import pickle
+
+        from repro.lowlevel.expr import flatten_values, rebuild_values
+
+        var = Sym("tx_deep", 0, 255)
+        node = var
+        for i in range(50_000):
+            node = mk_binop("add", mk_binop("mul", node, 3), i % 251)
+        blob = pickle.dumps(node)
+        restored = pickle.loads(blob)
+        # Same process: must re-intern to the identical node.
+        assert restored is node
+        instrs, refs = flatten_values((node,))
+        assert rebuild_values(instrs)[refs[0]] is node
+
+    def test_shared_structure_flattens_once(self):
+        from repro.lowlevel.expr import flatten_values
+
+        var = Sym("tx_share", 0, 255)
+        common = mk_binop("mul", var, 7)
+        a = mk_binop("add", common, 1)
+        b = mk_binop("add", common, 2)
+        instrs, refs = flatten_values((a, b))
+        assert len(refs) == 2
+        # var, common, the constants 1/2/7 and the two adds: no duplicates.
+        assert sum(1 for ins in instrs if ins[0] == "b" and ins[1] == "mul") == 1

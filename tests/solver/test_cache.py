@@ -118,3 +118,108 @@ class TestGlobal:
         cache.store(ModelCache.key_for(atoms), UNSAT)
         reset_global_model_cache()
         assert len(global_model_cache()) == 0
+
+
+class TestDeltaProtocol:
+    """export_delta / merge: cross-process entry flow (PR 4)."""
+
+    def test_store_with_atoms_journals_once(self):
+        cache = ModelCache()
+        atoms, xs = _atoms("mc_k", 1)
+        key = ModelCache.key_for(atoms)
+        cache.store(key, {xs[0].name: 40}, atoms=atoms)
+        cache.store(key, {xs[0].name: 41}, atoms=atoms)  # overwrite: no new entry
+        assert cache.journal_mark() == 1
+        assert len(cache.export_delta(0)) == 1
+
+    def test_marks_slice_the_journal(self):
+        cache = ModelCache()
+        atoms, xs = _atoms("mc_l", 3)
+        for i, atom in enumerate(atoms):
+            cache.store(ModelCache.key_for([atom]), {xs[i].name: 40 + i}, atoms=[atom])
+        mark = cache.journal_mark()
+        assert mark == 3
+        assert cache.export_delta(mark) == []
+        assert len(cache.export_delta(1)) == 2
+
+    def test_merge_adopts_and_counts_hits(self):
+        source = ModelCache()
+        atoms, xs = _atoms("mc_m", 2)
+        for i, atom in enumerate(atoms):
+            source.store(ModelCache.key_for([atom]), {xs[i].name: 40 + i}, atoms=[atom])
+        source.store(ModelCache.key_for([atoms[0], atoms[1]]), UNSAT,
+                     atoms=[atoms[0], atoms[1]])
+
+        target = ModelCache()
+        adopted = target.merge(source.export_delta(0))
+        assert adopted == 3
+        assert target.merged_stores == 3
+        # Hits on merged entries are counted as cross-worker reuse.
+        kind, result = target.lookup(ModelCache.key_for([atoms[0]]))
+        assert kind == HIT_EXACT and result == {xs[0].name: 40}
+        assert target.merged_hits == 1
+        assert target.stats_dict()["merged_hits"] == 1
+
+    def test_merge_skips_known_entries(self):
+        source = ModelCache()
+        atoms, xs = _atoms("mc_n", 1)
+        source.store(ModelCache.key_for(atoms), {xs[0].name: 40}, atoms=atoms)
+        delta = source.export_delta(0)
+        target = ModelCache()
+        assert target.merge(delta) == 1
+        assert target.merge(delta) == 0  # fingerprint dedup
+        # An entry already stored locally is never overwritten by merge.
+        other = ModelCache()
+        other.store(ModelCache.key_for(atoms), {xs[0].name: 99})
+        assert other.merge(delta) == 0
+        _kind, result = other.lookup(ModelCache.key_for(atoms))
+        assert result == {xs[0].name: 99}
+
+    def test_merged_entries_are_rejournaled_for_rebroadcast(self):
+        source = ModelCache()
+        atoms, xs = _atoms("mc_o", 1)
+        source.store(ModelCache.key_for(atoms), {xs[0].name: 40}, atoms=atoms)
+        coordinator = ModelCache()
+        coordinator.merge(source.export_delta(0))
+        # A coordinator can re-export what it merged.
+        rebroadcast = coordinator.export_delta(0)
+        assert len(rebroadcast) == 1
+        third = ModelCache()
+        assert third.merge(rebroadcast) == 1
+
+    def test_journal_window_rolls(self):
+        cache = ModelCache(max_journal=2)
+        atoms, xs = _atoms("mc_p", 4)
+        for i, atom in enumerate(atoms):
+            cache.store(ModelCache.key_for([atom]), {xs[i].name: 40 + i}, atoms=[atom])
+        assert cache.journal_mark() == 4
+        # Stale marks just export what is still windowed (sound: less reuse).
+        assert len(cache.export_delta(0)) == 2
+
+
+class TestEvictionPruning:
+    def test_evicted_entries_can_be_rejournaled(self):
+        cache = ModelCache(max_entries=2)
+        atoms, xs = _atoms("mc_q", 3)
+        for i, atom in enumerate(atoms):
+            cache.store(ModelCache.key_for([atom]), {xs[i].name: 40 + i}, atoms=[atom])
+        # Entry 0 was LRU-evicted; its bookkeeping must not leak nor block
+        # re-journaling when the verdict is rediscovered.
+        assert len(cache._known_fps) == 2
+        assert len(cache._fp_of_key) == 2
+        mark = cache.journal_mark()
+        cache.store(ModelCache.key_for([atoms[0]]), {xs[0].name: 40}, atoms=[atoms[0]])
+        assert len(cache.export_delta(mark)) == 1  # journaled again
+
+    def test_merged_keys_pruned_on_eviction(self):
+        source = ModelCache()
+        atoms, xs = _atoms("mc_r", 1)
+        source.store(ModelCache.key_for(atoms), {xs[0].name: 40}, atoms=atoms)
+        target = ModelCache(max_entries=1)
+        assert target.merge(source.export_delta(0)) == 1
+        other_atoms, other_xs = _atoms("mc_s", 2)
+        for i, atom in enumerate(other_atoms):
+            target.store(
+                ModelCache.key_for([atom]), {other_xs[i].name: 40 + i}, atoms=[atom]
+            )
+        assert not target._merged_keys

@@ -1,10 +1,11 @@
 """Quickstart: turn the MiniPy interpreter into a symbolic execution
-engine and generate tests for the paper's validateEmail example (Fig. 2).
+engine and generate tests for the paper's validateEmail example (Fig. 2),
+streaming test cases as exploration discovers them.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import ChefConfig, MiniPyEngine
+from repro import ChefConfig, Session, TestCaseFound
 
 SOURCE = '''
 def validate_email(email):
@@ -22,25 +23,31 @@ except InvalidEmailError:
 
 
 def main() -> None:
-    engine = MiniPyEngine(
+    session = Session(
+        "minipy",
         SOURCE,
         ChefConfig(strategy="cupa-path", seed=0, time_budget=5.0),
     )
-    result = engine.run()
 
+    # Stream test cases as exploration finds them (session.run() is the
+    # blocking equivalent and returns the same RunResult).
+    print("generated test cases (one per high-level path):")
+    for event in session.events():
+        if isinstance(event, TestCaseFound):
+            case = event.case
+            email = case.input_string("b0")
+            replay = session.replay(case)
+            verdict = "rejected" if replay.output[:2] == [1, -1] else "accepted"
+            print(f"  email={email!r:24s} -> {verdict}")
+
+    result = session.result
+    print()
     print(f"explored {result.ll_paths} low-level paths, "
           f"{result.hl_paths} high-level paths in {result.duration:.1f}s")
-    print()
-    print("generated test cases (one per high-level path):")
-    for case in result.hl_test_cases:
-        email = case.input_string("b0")
-        replay = engine.replay(case)
-        verdict = "rejected" if replay.output[:2] == [1, -1] else "accepted"
-        print(f"  email={email!r:24s} -> {verdict}")
 
     # Replay one test in the vanilla host interpreter to confirm.
     case = result.hl_test_cases[0]
-    replay = engine.replay(case)
+    replay = session.replay(case)
     assert replay.output == case.output, "replay must match symbolic run"
     print()
     print("replay in the vanilla interpreter matches the symbolic run ✓")

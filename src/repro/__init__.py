@@ -5,11 +5,11 @@ interpreter's language by executing the interpreter itself on a low-level
 symbolic execution platform, tracing high-level program locations, and
 steering exploration with class-uniform path analysis (CUPA).
 
-Quickstart::
+Quickstart — the session API (``repro.api``)::
 
-    from repro import MiniPyEngine, ChefConfig
+    from repro import ChefConfig, Session, TestCaseFound
 
-    engine = MiniPyEngine('''
+    session = Session("minipy", '''
     def check(s):
         if s.find("@") < 3:
             raise ValueError("bad")
@@ -18,14 +18,37 @@ Quickstart::
     data = sym_string("\\x00\\x00\\x00\\x00\\x00")
     print(check(data))
     ''', ChefConfig(strategy="cupa-path", time_budget=5.0))
-    result = engine.run()
-    for case in result.hl_test_cases:
-        print(case.input_string("b0"), case.exception_type)
+
+    for event in session.events():          # or: result = session.run()
+        if isinstance(event, TestCaseFound):
+            case = event.case
+            print(case.input_string("b0"), case.exception_type)
+
+``Session(language, source, config, solver=..., workers=N)`` accepts any
+registered guest language (``repro.languages()`` lists them; register
+your own with ``repro.register_language``).  The classic facades
+(``MiniPyEngine``, ``MiniLuaEngine``, ``SymbolicTestRunner``) remain as
+thin wrappers over the same machinery.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
+from repro.api import (
+    BatchMerged,
+    BudgetExhausted,
+    GuestLanguage,
+    PathCompleted,
+    RunFinished,
+    Session,
+    SessionEvent,
+    SymbolicSession,
+    TestCaseFound,
+    UnknownLanguageError,
+    get_language,
+    languages,
+    register_language,
+)
 from repro.chef import (
     Chef,
     ChefConfig,
@@ -39,19 +62,32 @@ from repro.interpreters.minilua import MiniLuaEngine
 from repro.interpreters.minipy import MiniPyEngine
 from repro.symtest import SymbolicTest, SymbolicTestRunner
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchMerged",
+    "BudgetExhausted",
     "Chef",
     "ChefConfig",
+    "GuestLanguage",
     "InterpreterBuildOptions",
     "MiniLuaEngine",
     "MiniPyEngine",
+    "PathCompleted",
     "ReproError",
+    "RunFinished",
     "RunResult",
+    "Session",
+    "SessionEvent",
+    "SymbolicSession",
     "SymbolicTest",
     "SymbolicTestRunner",
     "TestCase",
+    "TestCaseFound",
     "TestSuite",
+    "UnknownLanguageError",
     "__version__",
+    "get_language",
+    "languages",
+    "register_language",
 ]

@@ -1,0 +1,66 @@
+"""repro.api — the stable public surface of the reproduction (v1).
+
+Two abstractions make the engine a *library* rather than a pair of
+hardcoded facades:
+
+- :class:`GuestLanguage` (:mod:`repro.api.language`) — one object per
+  guest language bundling everything that used to be string-dispatched
+  on ``language == "minipy"``: the engine factory, host-VM replay,
+  symbolic-test driver codegen (literal quoting, input declarations)
+  and comment-prefix / LoC rules.  MiniPy and MiniLua register
+  themselves (``repro/interpreters/*/language.py``); a third language
+  is one :func:`register_language` call away.
+
+- :class:`SymbolicSession` (:mod:`repro.api.session`, exported as
+  ``Session``) — a streaming facade over one exploration:
+  ``Session(language, source, config)`` exposes both a blocking
+  :meth:`~repro.api.session.SymbolicSession.run` and an incremental
+  :meth:`~repro.api.session.SymbolicSession.events` generator yielding
+  the typed events of :mod:`repro.api.events` as exploration proceeds,
+  at every worker count.
+
+See the "Public API" section of ``docs/architecture.md``.
+"""
+
+from repro.api.events import (
+    BatchMerged,
+    BudgetExhausted,
+    PathCompleted,
+    RunFinished,
+    SessionEvent,
+    TestCaseFound,
+)
+from repro.api.language import (
+    GuestLanguage,
+    UnknownLanguageError,
+    get_language,
+    languages,
+    register_language,
+)
+
+__all__ = [
+    "BatchMerged",
+    "BudgetExhausted",
+    "GuestLanguage",
+    "PathCompleted",
+    "RunFinished",
+    "Session",
+    "SessionEvent",
+    "SymbolicSession",
+    "TestCaseFound",
+    "UnknownLanguageError",
+    "get_language",
+    "languages",
+    "register_language",
+]
+
+
+def __getattr__(name: str):
+    # Session pulls in the whole engine stack (chef -> lowlevel ->
+    # solver); loading it lazily keeps ``repro.api.events`` importable
+    # from inside that stack without a cycle.
+    if name in ("Session", "SymbolicSession"):
+        from repro.api.session import SymbolicSession
+
+        return SymbolicSession
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

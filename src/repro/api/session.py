@@ -1,0 +1,206 @@
+"""The SymbolicSession facade: one exploration, blocking or streaming.
+
+A session ties together everything the five legacy entry points used to
+re-plumb separately — language lookup, engine construction, config,
+solver backend, worker count — behind one object::
+
+    from repro import Session, ChefConfig, TestCaseFound
+
+    session = Session("minipy", source, ChefConfig(strategy="cupa-path"))
+    for event in session.events():
+        if isinstance(event, TestCaseFound):
+            print(event.case.inputs, event.case.exception_type)
+
+``run()`` is the blocking twin; both drive the same Chef event stream,
+so the test-case set is identical whichever you consume (and, for
+exhaustive runs, identical at every worker count).  Pure-LVM programs —
+e.g. Clay guests compiled with :func:`repro.clay.compile_program` — can
+be explored with ``Session.from_program(program, config)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterator, Optional
+
+from repro.api.events import RunFinished, SessionEvent
+from repro.api.language import GuestLanguage, get_language
+from repro.chef.engine import Chef, RunResult
+from repro.chef.options import ChefConfig
+from repro.chef.testcase import TestCase
+from repro.errors import ReproError
+from repro.solver.backend import SolverBackend
+
+
+class SymbolicSession:
+    """One symbolic exploration of one guest program.
+
+    A session explores exactly once: ``events()`` may be claimed once,
+    ``run()`` consumes the stream internally and caches the result
+    (repeat ``run()`` calls return the same :class:`RunResult`).
+    """
+
+    def __init__(
+        self,
+        language,
+        source: str,
+        config: Optional[ChefConfig] = None,
+        *,
+        solver: Optional[SolverBackend] = None,
+        workers: Optional[int] = None,
+    ):
+        self._init_common(config, workers, solver)
+        self.language: Optional[GuestLanguage] = get_language(language)
+        self.engine = self.language.create_engine(source, self.config, solver=solver)
+
+    def _init_common(self, config, workers, solver) -> None:
+        """State shared by every construction path; keep the alternate
+        constructors delegating here so new fields appear everywhere."""
+        self.config = config if config is not None else ChefConfig()
+        if workers is not None:
+            self.config = replace(self.config, workers=workers)
+        self.language = None
+        self.engine = None
+        self._program = None
+        self._solver = solver
+        self._chef: Optional[Chef] = None
+        self._result: Optional[RunResult] = None
+        self._streaming = False
+        self._failed = False
+
+    @classmethod
+    def from_program(
+        cls,
+        program,
+        config: Optional[ChefConfig] = None,
+        *,
+        solver: Optional[SolverBackend] = None,
+        workers: Optional[int] = None,
+    ) -> "SymbolicSession":
+        """Session over a finalized LIR :class:`Program` (no guest language).
+
+        Engine-facade conveniences (``replay``, ``exception_name``) are
+        unavailable; ``run()``/``events()`` work exactly as for a
+        language session.
+        """
+        session = cls.__new__(cls)
+        session._init_common(config, workers, solver)
+        session._program = program
+        return session
+
+    @classmethod
+    def for_engine(
+        cls,
+        engine,
+        config: Optional[ChefConfig] = None,
+        *,
+        language=None,
+        workers: Optional[int] = None,
+    ) -> "SymbolicSession":
+        """Session over an already-built engine facade.
+
+        Skips source recompilation — the way to explore the same
+        compiled guest again (a session explores exactly once).  The
+        engine's own solver is used; ``config`` defaults to the
+        engine's and the engine is re-pointed at the session's config
+        (its ``make_chef`` reads it); ``language`` is optional metadata.
+        """
+        session = cls.__new__(cls)
+        session._init_common(
+            config if config is not None else engine.config, workers, None
+        )
+        session.language = get_language(language) if language is not None else None
+        session.engine = engine
+        engine.config = session.config
+        return session
+
+    def _chef_instance(self) -> Chef:
+        """Build the Chef loop on first use (engines build a fresh LIR
+        program per Chef, so construction stays cheap until exploration
+        actually starts)."""
+        if self._chef is None:
+            if self.engine is not None:
+                self._chef = self.engine.make_chef()
+            else:
+                self._chef = Chef(self._program, self.config, solver=self._solver)
+        return self._chef
+
+    # -- exploration ----------------------------------------------------------
+
+    def events(self) -> Iterator[SessionEvent]:
+        """Claim the event stream (once) and explore incrementally.
+
+        Yields :mod:`repro.api.events` instances as exploration
+        proceeds, ending with :class:`RunFinished`.  A second call —
+        whether or not the first generator was exhausted — raises
+        :class:`ReproError`: a session explores exactly once.
+        """
+        if self._failed:
+            raise ReproError(
+                "a previous exploration of this session raised; its engine "
+                "state is unreliable — create a new session to re-run"
+            )
+        if self._streaming:
+            raise ReproError(
+                "session events() already claimed; a SymbolicSession "
+                "explores exactly once — create a new session to re-run"
+            )
+        self._streaming = True
+        return self._stream()
+
+    def _stream(self) -> Iterator[SessionEvent]:
+        # A raise mid-exploration (solver error, KeyboardInterrupt)
+        # leaves the Chef loop half-mutated: poison the session so
+        # retries get an accurate error instead of "already claimed".
+        try:
+            for event in self._chef_instance().stream():
+                if isinstance(event, RunFinished):
+                    self._result = event.result
+                yield event
+        except BaseException:
+            self._failed = True
+            raise
+
+    def run(self) -> RunResult:
+        """Explore to completion (blocking) and return the RunResult."""
+        if self._result is None:
+            for _event in self.events():
+                pass
+        assert self._result is not None
+        return self._result
+
+    @property
+    def result(self) -> Optional[RunResult]:
+        """The finished RunResult, or None while still exploring."""
+        return self._result
+
+    @property
+    def started(self) -> bool:
+        """True once the event stream has been claimed (by events/run)."""
+        return self._streaming
+
+    # -- engine-facade conveniences -------------------------------------------
+
+    def replay(self, case: TestCase):
+        """Re-execute a generated test in the vanilla host VM."""
+        return self._require_engine().replay(case)
+
+    def exception_name(self, type_id: int) -> str:
+        return self._require_engine().exception_name(type_id)
+
+    def coverage(self, suite, replay_all: bool = False):
+        return self._require_engine().coverage(suite, replay_all=replay_all)
+
+    def _require_engine(self):
+        if self.engine is None:
+            raise ReproError(
+                "this session was built from a raw LIR program; replay and "
+                "coverage need a guest-language engine (use Session(language, "
+                "source, ...))"
+            )
+        return self.engine
+
+
+#: Public alias — ``Session(language, source, config)`` reads better at
+#: call sites; ``SymbolicSession`` is the documented class name.
+Session = SymbolicSession

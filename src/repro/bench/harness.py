@@ -74,6 +74,10 @@ def run_package(
     measure_coverage: bool = True,
 ) -> PackageRun:
     """Run one symbolic test under one configuration and summarise it."""
+    # Resolve the package's guest language through the plugin registry
+    # up front: a typo'd / unregistered language fails here with the
+    # full list of known languages instead of deep inside the runner.
+    language = package.guest_language()
     config = ChefConfig(
         strategy=strategy,
         seed=seed,
@@ -95,7 +99,7 @@ def run_package(
     coverage = runner.line_coverage(result) if measure_coverage else 0.0
     return PackageRun(
         package=package.name,
-        language=package.language,
+        language=language.name,
         config=config_name or strategy,
         seed=seed,
         hl_paths=result.hl_paths,

@@ -13,25 +13,31 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.api.events import (
+    BatchMerged,
+    BudgetExhausted,
+    PathCompleted,
+    RunFinished,
+    SessionEvent,
+    TestCaseFound,
+)
 from repro.chef.hltree import HighLevelCfg, HighLevelTree
 from repro.chef.options import ChefConfig
 from repro.chef.strategies import make_strategy
 from repro.chef.testcase import TestCase, TestSuite
 from repro.lowlevel import api
-from repro.lowlevel.executor import ExecutorConfig, LowLevelEngine, State
+from repro.lowlevel.executor import (
+    DISCARDED_STATUSES as _DISCARDED_STATUSES,
+    ExecutorConfig,
+    LowLevelEngine,
+    State,
+)
 from repro.lowlevel.machine import Status
 from repro.lowlevel.program import Program
 from repro.solver.backend import SolverBackend
 from repro.solver.csp import make_default_solver
-
-#: Terminal statuses that never yield a test case (unsat alternates,
-#: budget/deadline artifacts).  Checked up front by both the serial hook
-#: and the parallel record path so discarded paths cost nothing.
-_DISCARDED_STATUSES = frozenset(
-    (Status.ASSUME_FAILED, Status.INFEASIBLE, Status.SOLVER_TIMEOUT, Status.DEADLINE)
-)
 
 
 @dataclass
@@ -118,6 +124,8 @@ class Chef:
         self._timeline: List[Tuple[float, int, int]] = []
         self._start_time = 0.0
         self._ll_paths = 0
+        #: session events accumulated since the last stream() flush.
+        self._event_buffer: List[SessionEvent] = []
 
     # -- listener hooks -------------------------------------------------------
 
@@ -190,6 +198,9 @@ class Chef:
             path_constraints=path_constraints,
         )
         self.suite.add(case)
+        self._event_buffer.append(PathCompleted(case=case))
+        if new_hl:
+            self._event_buffer.append(TestCaseFound(case=case))
         if self._ll_paths % max(self.config.sample_every, 1) == 0:
             self._timeline.append(
                 (case.wall_time, self.tree.distinct_paths(), self._ll_paths)
@@ -199,8 +210,28 @@ class Chef:
 
     def run(self) -> RunResult:
         """Explore until the time/path budget is exhausted."""
+        result: Optional[RunResult] = None
+        for event in self.stream():
+            if isinstance(event, RunFinished):
+                result = event.result
+        assert result is not None  # stream() always ends with RunFinished
+        return result
+
+    def stream(self) -> Iterator[SessionEvent]:
+        """Incremental twin of :meth:`run`: yield typed session events.
+
+        Events flush after every completed low-level path (serial mode)
+        or after each merged *round* of worker chunks (parallel mode —
+        the pool blocks until a round completes, so per-chunk events
+        arrive together, in deterministic chunk order); the stream
+        always ends with a :class:`RunFinished` carrying the full
+        :class:`RunResult`.  The event *multiset* is deterministic
+        across worker counts for exhaustive runs — see
+        :mod:`repro.api.events`.
+        """
         if self.config.workers > 1:
-            return self._run_parallel()
+            yield from self._stream_parallel()
+            return
         config = self.config
         self._cache_stats_start = self._cache_stats_snapshot()
         self._start_time = time.monotonic()
@@ -208,7 +239,12 @@ class Chef:
         state = self.ll.new_state()
         for child in self.ll.run_path(state):
             self.strategy.add(child)
-        while not self._budget_exhausted():
+        yield from self._flush_events()
+        exhausted: Optional[str] = None
+        while True:
+            exhausted = self._budget_reason()
+            if exhausted is not None:
+                break
             candidate = self.strategy.select()
             if candidate is None:
                 break
@@ -216,27 +252,36 @@ class Chef:
                 continue
             for child in self.ll.run_path(candidate):
                 self.strategy.add(child)
+            yield from self._flush_events()
+        if exhausted is not None:
+            yield BudgetExhausted(reason=exhausted)
         duration = time.monotonic() - self._start_time
         self._timeline.append((duration, self.tree.distinct_paths(), self._ll_paths))
-        return RunResult(
-            suite=self.suite,
-            hl_paths=self.tree.distinct_paths(),
-            ll_paths=self._ll_paths,
-            duration=duration,
-            timeline=list(self._timeline),
-            engine_stats=self.ll.stats.as_dict(),
-            solver_stats=self._solver_stats(),
-            cfg_nodes=self.cfg.node_count(),
-            cfg_edges=self.cfg.edge_count(),
-            tree_nodes=self.tree.node_count(),
-            pending_left=len(self.strategy),
-            states_created=self.ll._next_sid,
-            tags=dict(config.tags or {}),
+        yield RunFinished(
+            result=RunResult(
+                suite=self.suite,
+                hl_paths=self.tree.distinct_paths(),
+                ll_paths=self._ll_paths,
+                duration=duration,
+                timeline=list(self._timeline),
+                engine_stats=self.ll.stats.as_dict(),
+                solver_stats=self._solver_stats(),
+                cfg_nodes=self.cfg.node_count(),
+                cfg_edges=self.cfg.edge_count(),
+                tree_nodes=self.tree.node_count(),
+                pending_left=len(self.strategy),
+                states_created=self.ll._next_sid,
+                tags=dict(config.tags or {}),
+            )
         )
+
+    def _flush_events(self) -> List[SessionEvent]:
+        events, self._event_buffer = self._event_buffer, []
+        return events
 
     # -- parallel mode ---------------------------------------------------------
 
-    def _run_parallel(self) -> RunResult:
+    def _stream_parallel(self) -> Iterator[SessionEvent]:
         """Shard the pending-state frontier across worker processes.
 
         Workers run low-level paths and stream back (a) terminated-path
@@ -245,9 +290,13 @@ class Chef:
         high-level tree/CFG (the same transitions the serial loop feeds
         incrementally), generates test cases, classifies pending
         snapshots for the CUPA/strategy layer, and merges model-cache
-        deltas across the pool.  Exploration *order* differs from serial
-        (batching), so time-budgeted runs may cover different prefixes;
-        exhaustive runs produce the identical path set.
+        deltas across the pool — all through the coordinator's
+        ``on_merge`` hook, which fires per chunk in deterministic chunk
+        order (each merge also emits a :class:`BatchMerged` event).
+        Exploration *order* differs from serial (batching), so
+        time-budgeted runs may cover different prefixes; exhaustive
+        runs produce the identical path set, hence the identical
+        path-event multiset.
         """
         from repro.parallel.coordinator import ParallelExplorer, warn_if_custom_backend
         from repro.parallel.snapshot import boot_snapshot
@@ -271,40 +320,63 @@ class Chef:
             batch_size=config.worker_batch,
             trace_hlpc=True,
         )
+        explorer.on_merge = lambda chunk_index, result: self._merge_chunk(
+            explorer.batches, chunk_index, result
+        )
+        exhausted: Optional[str] = None
         with explorer:
             batch = [boot_snapshot(self.ll.program)]
-            round_no = 0
             while batch:
-                for chunk_index, result in enumerate(explorer.submit(batch)):
-                    for record in result.records:
-                        self._ingest_record(record)
-                    for snap in result.pending:
-                        self.strategy.add(
-                            self._pending_handle(snap, round_no, chunk_index)
-                        )
-                round_no += 1
-                if self._budget_exhausted():
+                explorer.submit(batch)
+                yield from self._flush_events()
+                exhausted = self._budget_reason()
+                if exhausted is not None:
                     break
                 batch = self._pop_pending_batch(config.workers * config.worker_batch)
+        if exhausted is not None:
+            yield BudgetExhausted(reason=exhausted)
         duration = time.monotonic() - self._start_time
         self._timeline.append((duration, self.tree.distinct_paths(), self._ll_paths))
         solver_stats = explorer.aggregate("solver_stats")
         for key, value in explorer.aggregate("cache_stats").items():
             solver_stats[f"cache_{key}"] = value
-        return RunResult(
-            suite=self.suite,
-            hl_paths=self.tree.distinct_paths(),
-            ll_paths=self._ll_paths,
-            duration=duration,
-            timeline=list(self._timeline),
-            engine_stats=explorer.aggregate("engine_stats"),
-            solver_stats=solver_stats,
-            cfg_nodes=self.cfg.node_count(),
-            cfg_edges=self.cfg.edge_count(),
-            tree_nodes=self.tree.node_count(),
-            pending_left=len(self.strategy),
-            states_created=explorer.states_created(),
-            tags=dict(config.tags or {}),
+        yield RunFinished(
+            result=RunResult(
+                suite=self.suite,
+                hl_paths=self.tree.distinct_paths(),
+                ll_paths=self._ll_paths,
+                duration=duration,
+                timeline=list(self._timeline),
+                engine_stats=explorer.aggregate("engine_stats"),
+                solver_stats=solver_stats,
+                cfg_nodes=self.cfg.node_count(),
+                cfg_edges=self.cfg.edge_count(),
+                tree_nodes=self.tree.node_count(),
+                pending_left=len(self.strategy),
+                states_created=explorer.states_created(),
+                tags=dict(config.tags or {}),
+            )
+        )
+
+    def _merge_chunk(self, round_no: int, chunk_index: int, result) -> None:
+        """Coordinator ``on_merge`` hook: fold one worker chunk in.
+
+        Runs in deterministic chunk order within each round; ingests the
+        chunk's terminated-path records (emitting their path events),
+        classifies its pending snapshots for the strategy layer, and
+        closes the chunk with a :class:`BatchMerged` event.
+        """
+        for record in result.records:
+            self._ingest_record(record)
+        for snap in result.pending:
+            self.strategy.add(self._pending_handle(snap, round_no, chunk_index))
+        self._event_buffer.append(
+            BatchMerged(
+                round_no=round_no,
+                chunk_index=chunk_index,
+                records=len(result.records),
+                pending=len(result.pending),
+            )
         )
 
     def _ingest_record(self, record) -> None:
@@ -386,12 +458,13 @@ class Chef:
             stats[f"cache_{key}"] = value - start.get(key, 0)
         return stats
 
-    def _budget_exhausted(self) -> bool:
+    def _budget_reason(self) -> Optional[str]:
+        """Which budget stopped exploration, or None while in budget."""
         config = self.config
         if time.monotonic() - self._start_time >= config.time_budget:
-            return True
+            return "time"
         if config.max_ll_paths and self._ll_paths >= config.max_ll_paths:
-            return True
+            return "ll-paths"
         if config.max_hl_paths and self.tree.distinct_paths() >= config.max_hl_paths:
-            return True
-        return False
+            return "hl-paths"
+        return None

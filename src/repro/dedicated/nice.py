@@ -94,6 +94,10 @@ class _Trace:
 class DedicatedNiceEngine:
     """Concolic engine over MiniPy bytecode with re-execution."""
 
+    #: the one guest language this hand-made engine understands — the
+    #: point of §6.6 is that dedicated engines do *not* generalize.
+    guest_language = "minipy"
+
     def __init__(
         self,
         source: str,

@@ -1,0 +1,34 @@
+"""MiniLua's :class:`~repro.api.language.GuestLanguage` registration."""
+
+from __future__ import annotations
+
+from repro.api.language import GuestLanguage, escape_double_quoted, register_language
+
+#: Render ``text`` as a MiniLua string literal.  The MiniLua lexer
+#: accepts ``\\``, ``\"`` and ``\xNN`` escapes in double-quoted
+#: strings, so quotes, backslashes and non-printable bytes round-trip.
+quote_minilua = escape_double_quoted
+
+
+def _engine_factory(source: str, config=None, solver=None):
+    from repro.interpreters.minilua.engine import MiniLuaEngine
+
+    return MiniLuaEngine(source, config, solver=solver)
+
+
+def _host_vm_factory(module, symbolic_inputs):
+    from repro.interpreters.minilua.hostvm import LuaHostVM
+
+    return LuaHostVM(module, symbolic_inputs=symbolic_inputs)
+
+
+MINILUA = register_language(
+    GuestLanguage(
+        name="minilua",
+        comment_prefix="--",
+        engine_factory=_engine_factory,
+        quote_literal=quote_minilua,
+        host_vm_factory=_host_vm_factory,
+        description="Lua-subset guest (the paper's Lua case study, §5.2)",
+    )
+)

@@ -1,0 +1,39 @@
+"""MiniPy's :class:`~repro.api.language.GuestLanguage` registration.
+
+This module (and its MiniLua sibling) is the only place the name
+"minipy" may be special-cased; every other consumer goes through
+``repro.api.get_language``.
+"""
+
+from __future__ import annotations
+
+from repro.api.language import GuestLanguage, escape_double_quoted, register_language
+
+#: Render ``text`` as a MiniPy string literal: printable ASCII passes
+#: through; quotes/backslashes are escaped; everything else becomes
+#: ``\xNN`` (the frontend lexer's escape set).
+quote_minipy = escape_double_quoted
+
+
+def _engine_factory(source: str, config=None, solver=None):
+    from repro.interpreters.minipy.engine import MiniPyEngine
+
+    return MiniPyEngine(source, config, solver=solver)
+
+
+def _host_vm_factory(module, symbolic_inputs):
+    from repro.interpreters.minipy.hostvm import HostVM
+
+    return HostVM(module, symbolic_inputs=symbolic_inputs)
+
+
+MINIPY = register_language(
+    GuestLanguage(
+        name="minipy",
+        comment_prefix="#",
+        engine_factory=_engine_factory,
+        quote_literal=quote_minipy,
+        host_vm_factory=_host_vm_factory,
+        description="Python-subset guest (the paper's CPython case study, §5.1)",
+    )
+)

@@ -56,6 +56,14 @@ _CONCRETE_BIN = {
 
 _MAX_SHIFT = 512
 
+#: Terminal statuses that represent exploration artifacts rather than
+#: guest behaviours (unsat alternates, solver timeouts, deadline cuts).
+#: Higher layers — the Chef test-case hooks, the session event bus —
+#: filter these up front so discarded paths cost nothing.
+DISCARDED_STATUSES = frozenset(
+    (Status.ASSUME_FAILED, Status.INFEASIBLE, Status.SOLVER_TIMEOUT, Status.DEADLINE)
+)
+
 _ENGINE_COUNTER = 0
 
 

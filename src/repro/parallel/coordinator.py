@@ -165,6 +165,13 @@ class ParallelExplorer:
         self._pool = None
         self._latest_by_pid: Dict[int, _WorkerCounters] = {}
         self.batches = 0
+        #: optional merge hook ``(chunk_index, WorkerResult) -> None``,
+        #: invoked per chunk in deterministic chunk order right after
+        #: its cache delta is folded into the master cache.  The Chef
+        #: engine subscribes here to ingest records, classify pending
+        #: snapshots and emit session events; ``self.batches`` is the
+        #: current round index while the hook runs.
+        self.on_merge = None
 
     # -- pool lifecycle -------------------------------------------------------
 
@@ -227,7 +234,7 @@ class ParallelExplorer:
         delta = self.master_cache.export_delta(base_mark)
         round_mark = self.master_cache.journal_mark()
         results = self._pool.map(run_batch, [(chunk, delta) for chunk in chunks], chunksize=1)
-        for result in results:
+        for chunk_index, result in enumerate(results):
             self.master_cache.merge(result.cache_delta)
             self._latest_by_pid[result.pid] = _WorkerCounters(
                 engine_stats=result.engine_stats,
@@ -238,6 +245,8 @@ class ParallelExplorer:
             # This worker merged [base_mark, round_mark) on top of its own
             # previous mark (>= base_mark), so it now holds the full prefix.
             self._pid_marks[result.pid] = round_mark
+            if self.on_merge is not None:
+                self.on_merge(chunk_index, result)
         self.batches += 1
         return results
 

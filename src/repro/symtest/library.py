@@ -12,7 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.api.language import get_language
 from repro.errors import ReproError
+
+# Back-compat alias: driver codegen now routes through
+# ``GuestLanguage.quote_literal``; the MiniPy quoter lives with the
+# language registration.
+from repro.interpreters.minipy.language import quote_minipy as _quote_minipy
 
 
 @dataclass
@@ -24,21 +30,6 @@ class InputSpec:
     seed: object       # initial concrete value (str or int)
     lo: int = 0
     hi: int = 255
-
-
-def _quote_minipy(text: str) -> str:
-    chars = []
-    for c in text:
-        o = ord(c)
-        if c == "\\":
-            chars.append("\\\\")
-        elif c == '"':
-            chars.append('\\"')
-        elif 32 <= o < 127:
-            chars.append(c)
-        else:
-            chars.append(f"\\x{o:02x}")
-    return '"' + "".join(chars) + '"'
 
 
 class SymbolicTest:
@@ -69,18 +60,19 @@ class SymbolicTest:
         """Declare a symbolic string; returns the guest variable name."""
         self._declare(name)
         self.inputs.append(InputSpec("str", name, seed))
-        if self.language == "minipy":
-            self._lines.append(f"{name} = sym_string({_quote_minipy(seed)})")
-        else:
-            self._lines.append(f"{name} = sym_string({_quote_minipy(seed)})")
+        self._lines.append(self.guest_language().declare_string(name, seed))
         return name
 
     def getInt(self, name: str, seed: int, lo: int = 0, hi: int = 255) -> str:
         """Declare a symbolic integer with an inclusive domain."""
         self._declare(name)
         self.inputs.append(InputSpec("int", name, seed, lo, hi))
-        self._lines.append(f"{name} = sym_int({seed}, {lo}, {hi})")
+        self._lines.append(self.guest_language().declare_int(name, seed, lo, hi))
         return name
+
+    def guest_language(self):
+        """The registered :class:`GuestLanguage` this test targets."""
+        return get_language(self.language)
 
     def emit(self, code: str) -> None:
         """Append driver statements (guest-language source)."""

@@ -11,10 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Set
 
+from repro.api.session import SymbolicSession
 from repro.chef.engine import RunResult
 from repro.chef.options import ChefConfig
 from repro.chef.testcase import TestCase
-from repro.errors import ReproError
 from repro.solver.backend import SolverBackend
 from repro.symtest.library import SymbolicTest
 
@@ -31,7 +31,12 @@ class ReplayedCase:
 
 
 class SymbolicTestRunner:
-    """Drives a :class:`SymbolicTest` against a guest package."""
+    """Drives a :class:`SymbolicTest` against a guest package.
+
+    A thin wrapper over :class:`~repro.api.session.SymbolicSession`:
+    the runner assembles the guest driver, the session owns language
+    lookup, engine construction and exploration.
+    """
 
     def __init__(
         self,
@@ -50,21 +55,25 @@ class SymbolicTestRunner:
         self.solver = solver
         driver = test.build_driver()
         self.full_source = package_source.rstrip("\n") + "\n\n" + driver
-        if test.language == "minipy":
-            from repro.interpreters.minipy.engine import MiniPyEngine
-
-            self.engine = MiniPyEngine(self.full_source, self.config, solver=solver)
-        elif test.language == "minilua":
-            from repro.interpreters.minilua.engine import MiniLuaEngine
-
-            self.engine = MiniLuaEngine(self.full_source, self.config, solver=solver)
-        else:
-            raise ReproError(f"unknown guest language {test.language!r}")
+        self.session = SymbolicSession(
+            test.language, self.full_source, self.config, solver=solver
+        )
+        self.engine = self.session.engine
 
     # -- symbolic mode ---------------------------------------------------------
 
     def run_symbolic(self) -> RunResult:
-        return self.engine.run()
+        """Explore (once per session) and return the result.
+
+        A session explores exactly once; calling this again re-explores
+        on a fresh session over the same compiled engine (no source
+        recompilation).
+        """
+        if self.session.started:
+            self.session = SymbolicSession.for_engine(
+                self.engine, self.config, language=self.test.language
+            )
+        return self.session.run()
 
     # -- replay mode --------------------------------------------------------------
 

@@ -9,9 +9,10 @@ TypeError.  Anything else (including IndexError) counts as undocumented.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, FrozenSet, List, Tuple
 
-from repro.symtest.coverage import count_loc
+from repro.api.language import get_language
 from repro.symtest.library import SimpleSymbolicTest
 from repro.targets import minilua_packages as LUA
 from repro.targets import minipy_packages as PY
@@ -38,9 +39,12 @@ class TargetPackage:
             list(self.test_inputs), self.test_body, language=self.language
         )
 
+    def guest_language(self):
+        """The registered :class:`GuestLanguage` this target is written in."""
+        return get_language(self.language)
+
     def loc(self) -> int:
-        prefix = "#" if self.language == "minipy" else "--"
-        return count_loc(self.source, comment_prefix=prefix)
+        return self.guest_language().loc(self.source)
 
     def is_documented(self, exception_name: str) -> bool:
         return (
@@ -49,8 +53,9 @@ class TargetPackage:
         )
 
 
-def python_targets() -> List[TargetPackage]:
-    return [
+@lru_cache(maxsize=None)
+def _python_targets() -> Tuple[TargetPackage, ...]:
+    return (
         TargetPackage(
             name="argparse",
             language="minipy",
@@ -111,11 +116,12 @@ def python_targets() -> List[TargetPackage]:
             test_body=PY.XLRD_TEST["body"],
             documented_exceptions=frozenset({"XLRDError"}),
         ),
-    ]
+    )
 
 
-def lua_targets() -> List[TargetPackage]:
-    return [
+@lru_cache(maxsize=None)
+def _lua_targets() -> Tuple[TargetPackage, ...]:
+    return (
         TargetPackage(
             name="cliargs",
             language="minilua",
@@ -161,15 +167,29 @@ def lua_targets() -> List[TargetPackage]:
             test_inputs=tuple(LUA.MOONSCRIPT_TEST["inputs"]),
             test_body=LUA.MOONSCRIPT_TEST["body"],
         ),
-    ]
+    )
+
+
+@lru_cache(maxsize=None)
+def _target_index() -> Dict[str, TargetPackage]:
+    return {target.name: target for target in _python_targets() + _lua_targets()}
+
+
+def python_targets() -> List[TargetPackage]:
+    return list(_python_targets())
+
+
+def lua_targets() -> List[TargetPackage]:
+    return list(_lua_targets())
 
 
 def all_targets() -> List[TargetPackage]:
-    return python_targets() + lua_targets()
+    return list(_python_targets() + _lua_targets())
 
 
 def target_by_name(name: str) -> TargetPackage:
-    for target in all_targets():
-        if target.name == name:
-            return target
-    raise KeyError(f"unknown target {name!r}")
+    """O(1) lookup over the memoized registry (targets are immutable)."""
+    try:
+        return _target_index()[name]
+    except KeyError:
+        raise KeyError(f"unknown target {name!r}") from None

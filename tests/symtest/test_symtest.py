@@ -6,6 +6,8 @@ from repro.chef.options import ChefConfig
 from repro.errors import ReproError
 from repro.symtest import SymbolicTest, SymbolicTestRunner
 from repro.symtest.coverage import count_loc, coverage_percent, merge_coverage
+from repro.interpreters.minilua.language import quote_minilua
+from repro.interpreters.minipy.language import quote_minipy
 from repro.symtest.library import SimpleSymbolicTest, _quote_minipy
 
 from tests.conftest import requires_clay
@@ -62,6 +64,24 @@ class TestSymbolicTestApi:
 
     def test_quoting_non_printable(self):
         assert _quote_minipy("\x00a\"\\") == '"\\x00a\\"\\\\"'
+        assert _quote_minipy is quote_minipy  # codegen routes through the language
+
+    def test_minilua_driver_quotes_through_guest_language(self):
+        # Regression: getString used to quote every language with the
+        # MiniPy quoter; the driver now asks GuestLanguage.quote_literal.
+        seed = 'a"b\\c\x00'
+        test = SimpleSymbolicTest([("str", "s", seed)], "print(s)", language="minilua")
+        driver = test.build_driver()
+        assert f"s = sym_string({quote_minilua(seed)})" in driver
+
+    def test_minilua_quoted_string_round_trips(self):
+        # Quotes and backslashes in MiniLua seeds must survive the
+        # frontend lexer byte-for-byte.
+        from repro.interpreters.minilua.frontend import tokenize_lua
+
+        for seed in ['a"b', "back\\slash", '\\"mix\\\\"', "\x00\x7f\xff"]:
+            tokens = tokenize_lua(f"s = sym_string({quote_minilua(seed)})\n")
+            assert [t.value for t in tokens if t.kind == "str"] == [seed]
 
     def test_unknown_language_rejected(self):
         test = SimpleSymbolicTest([("str", "s", "x")], "print(s)", language="ruby")
@@ -96,6 +116,18 @@ class TestRunner:
         outputs = {tuple(c.output) for c in result.hl_test_cases}
         assert (1, 1) in outputs  # a vowel
         assert (1, 0) in outputs  # not a vowel
+
+    def test_run_symbolic_twice_reuses_compiled_engine(self):
+        # Re-running builds a fresh session over the *same* engine —
+        # no source recompilation — and finds the same outcome set.
+        runner = self._runner()
+        first = runner.run_symbolic()
+        engine = runner.engine
+        second = runner.run_symbolic()
+        assert runner.engine is engine
+        assert {tuple(c.output) for c in first.hl_test_cases} == {
+            tuple(c.output) for c in second.hl_test_cases
+        }
 
     def test_replay_matches_symbolic_output(self):
         runner = self._runner()

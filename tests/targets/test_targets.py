@@ -37,9 +37,29 @@ class TestRegistry:
         with pytest.raises(KeyError):
             target_by_name("nonexistent")
 
+    def test_lookup_is_memoized(self):
+        # target_by_name used to rebuild all 11 TargetPackages per call;
+        # the registry is now built once and indexed by name.
+        assert target_by_name("xlrd") is target_by_name("xlrd")
+        assert target_by_name("haml") in all_targets()
+        assert all_targets()[0] is all_targets()[0]
+
+    def test_all_targets_returns_fresh_list(self):
+        targets = all_targets()
+        targets.clear()
+        assert len(all_targets()) == 11
+
     def test_loc_positive(self):
         for target in all_targets():
             assert target.loc() > 20, target.name
+
+    def test_loc_comment_prefix_comes_from_guest_language(self):
+        from repro.symtest.coverage import count_loc
+
+        assert target_by_name("xlrd").guest_language().comment_prefix == "#"
+        assert target_by_name("haml").guest_language().comment_prefix == "--"
+        haml = target_by_name("haml")
+        assert haml.loc() == count_loc(haml.source, comment_prefix="--")
 
     def test_documented_classification(self):
         xlrd = target_by_name("xlrd")

@@ -1,6 +1,9 @@
 """Public API smoke tests (the README quickstart must work)."""
 
+import pytest
+
 import repro
+import repro.api
 
 from tests.conftest import requires_clay
 
@@ -8,6 +11,46 @@ from tests.conftest import requires_clay
 def test_exports():
     for name in repro.__all__:
         assert hasattr(repro, name), name
+
+
+def test_all_is_sorted_and_resolvable():
+    # CI's api-smoke job asserts the same two invariants: every __all__
+    # name resolves, and the list stays sorted (merge conflicts show up
+    # as ordering noise otherwise).
+    assert repro.__all__ == sorted(repro.__all__)
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_session_exported_and_aliased():
+    assert repro.Session is repro.SymbolicSession
+    assert repro.Session is repro.api.Session
+
+
+def test_language_registry_exported():
+    assert repro.languages() == ["minilua", "minipy"]
+    assert repro.get_language("minipy").comment_prefix == "#"
+
+
+def test_session_bad_language_error():
+    with pytest.raises(repro.ReproError) as exc:
+        repro.Session("ruby", "x = 1")
+    assert "ruby" in str(exc.value)
+    assert isinstance(exc.value, repro.UnknownLanguageError)
+
+
+def test_session_events_consumed_twice_raises_cleanly():
+    from repro.bench.workloads import branchy_source
+    from repro.clay import compile_program
+
+    session = repro.Session.from_program(
+        compile_program(branchy_source(2)).program,
+        repro.ChefConfig(time_budget=60.0),
+    )
+    events = list(session.events())
+    assert isinstance(events[-1], repro.RunFinished)
+    with pytest.raises(repro.ReproError):
+        session.events()
 
 
 @requires_clay

@@ -1,0 +1,114 @@
+"""Disabled-telemetry overhead guard for the hot dispatch loop.
+
+The instrumentation contract (docs/architecture.md, "Observability") is
+that spans sit at *batch* granularity — one per executed path, per
+solver query, per snapshot codec call — never per interpreted
+instruction, and that with tracing disabled a span site costs a single
+``telemetry.enabled`` branch (the hot sites in the executor and solver
+all use that guard; unguarded call sites get the shared no-op span).
+This microbenchmark holds the engine to that: a dispatch-shaped loop
+(one guarded span site per simulated path of ``_OPS_PER_PATH`` integer
+ops) must stay within 5% of the same loop with no telemetry at all.
+
+Timing uses best-of-``_ROUNDS`` minima on both sides, which is the
+standard way to make a microbenchmark robust to scheduler noise — the
+minimum is the run with the least interference, and only a systematic
+cost (the thing we are guarding against) can raise it.
+
+A second assertion pins the mechanism itself: a disabled
+``Telemetry.span`` call must return the ``NULL_SPAN`` singleton, not
+allocate.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.perfjson import update_bench_json
+from repro.bench.reporting import render_table
+from repro.obs.telemetry import NULL_SPAN, Telemetry
+
+_PATHS = 400
+_OPS_PER_PATH = 1000
+_ROUNDS = 7
+
+#: ≤5% on the dispatch microbench — the ISSUE acceptance bar.
+_MAX_OVERHEAD = 0.05
+
+
+def _plain_workload() -> int:
+    acc = 0
+    for _path in range(_PATHS):
+        for op in range(_OPS_PER_PATH):
+            acc += op & 7
+    return acc
+
+
+def _instrumented_workload(telemetry: Telemetry) -> int:
+    # Mirrors the engine's hot-site pattern exactly (run_path, check):
+    # guard on the enabled flag, only build a span when tracing is on.
+    acc = 0
+    for path in range(_PATHS):
+        if telemetry.enabled:
+            with telemetry.span("engine.run_path", sid=path):
+                for op in range(_OPS_PER_PATH):
+                    acc += op & 7
+        else:
+            for op in range(_OPS_PER_PATH):
+                acc += op & 7
+    return acc
+
+
+def _best_of(fn, *args) -> float:
+    best = float("inf")
+    for _ in range(_ROUNDS):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_telemetry_overhead(benchmark, report):
+    telemetry = Telemetry(enabled=False)
+    assert telemetry.span("engine.run_path", sid=0) is NULL_SPAN
+
+    # Warm both code paths before timing.
+    _plain_workload()
+    _instrumented_workload(telemetry)
+
+    def run():
+        return _best_of(_plain_workload), _best_of(_instrumented_workload, telemetry)
+
+    plain, instrumented = benchmark.pedantic(run, rounds=1, iterations=1)
+    overhead = instrumented / plain - 1.0 if plain else 0.0
+
+    report(
+        "Disabled-telemetry overhead on a dispatch-shaped loop "
+        f"({_PATHS} paths x {_OPS_PER_PATH} ops, one span site per path)",
+        render_table(
+            ["metric", "value"],
+            [
+                ["plain best (ms)", f"{plain * 1e3:.3f}"],
+                ["instrumented best (ms)", f"{instrumented * 1e3:.3f}"],
+                ["overhead", f"{overhead * 100:.2f}%"],
+                ["budget", f"{_MAX_OVERHEAD * 100:.0f}%"],
+            ],
+        ),
+    )
+    update_bench_json(
+        "obs_disabled_overhead",
+        {
+            "paths": _PATHS,
+            "ops_per_path": _OPS_PER_PATH,
+            "plain_best_s": round(plain, 6),
+            "instrumented_best_s": round(instrumented, 6),
+            "overhead_fraction": round(overhead, 4),
+            "budget_fraction": _MAX_OVERHEAD,
+        },
+    )
+
+    assert overhead <= _MAX_OVERHEAD, (
+        f"disabled telemetry costs {overhead * 100:.2f}% on the dispatch "
+        f"microbench (budget {_MAX_OVERHEAD * 100:.0f}%) — a span site is "
+        "supposed to be one branch when tracing is off"
+    )

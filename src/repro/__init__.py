@@ -38,6 +38,7 @@ from repro.api import (
     BatchMerged,
     BudgetExhausted,
     GuestLanguage,
+    MetricsUpdated,
     PathCompleted,
     RunFinished,
     Session,
@@ -60,6 +61,7 @@ from repro.chef import (
 from repro.errors import ReproError
 from repro.interpreters.minilua import MiniLuaEngine
 from repro.interpreters.minipy import MiniPyEngine
+from repro.obs import Telemetry
 from repro.symtest import SymbolicTest, SymbolicTestRunner
 
 __version__ = "1.1.0"
@@ -71,6 +73,7 @@ __all__ = [
     "ChefConfig",
     "GuestLanguage",
     "InterpreterBuildOptions",
+    "MetricsUpdated",
     "MiniLuaEngine",
     "MiniPyEngine",
     "PathCompleted",
@@ -82,6 +85,7 @@ __all__ = [
     "SymbolicSession",
     "SymbolicTest",
     "SymbolicTestRunner",
+    "Telemetry",
     "TestCase",
     "TestCaseFound",
     "TestSuite",

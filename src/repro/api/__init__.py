@@ -25,6 +25,7 @@ See the "Public API" section of ``docs/architecture.md``.
 from repro.api.events import (
     BatchMerged,
     BudgetExhausted,
+    MetricsUpdated,
     PathCompleted,
     RunFinished,
     SessionEvent,
@@ -42,6 +43,7 @@ __all__ = [
     "BatchMerged",
     "BudgetExhausted",
     "GuestLanguage",
+    "MetricsUpdated",
     "PathCompleted",
     "RunFinished",
     "Session",

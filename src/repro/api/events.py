@@ -62,6 +62,21 @@ class BatchMerged(SessionEvent):
 
 
 @dataclass(frozen=True)
+class MetricsUpdated(SessionEvent):
+    """Periodic metrics-registry snapshot (dotted-name → value dict).
+
+    Serial runs emit one every ``sample_every`` completed paths;
+    parallel runs emit one per merged round (pool-wide worker totals).
+    Every stream emits a final one just before :class:`RunFinished`.
+    Unlike the path events, these are *progress* telemetry: their count
+    and payloads are timing/scheduling-dependent, so determinism
+    comparisons must filter them out.
+    """
+
+    metrics: Any  # Dict[str, int | float | dict]
+
+
+@dataclass(frozen=True)
 class BudgetExhausted(SessionEvent):
     """Exploration stopped because a budget ran out (not frontier drain).
 

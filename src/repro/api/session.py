@@ -179,6 +179,35 @@ class SymbolicSession:
         """True once the event stream has been claimed (by events/run)."""
         return self._streaming
 
+    # -- observability ---------------------------------------------------------
+
+    @property
+    def telemetry(self):
+        """The engine-wide :class:`~repro.obs.telemetry.Telemetry` context.
+
+        Builds the Chef loop on first access (like exploration does);
+        enable tracing via ``ChefConfig(trace=True)`` before starting.
+        """
+        return self._chef_instance().telemetry
+
+    def metrics(self):
+        """Merged metrics snapshot (dotted-name → value) for this session.
+
+        After ``run()`` this is the same registry the ``RunResult``
+        stat dicts are views of — one registry, serial or parallel.
+        """
+        return self.telemetry.metrics()
+
+    def write_chrome_trace(self, path) -> None:
+        """Export recorded spans as a Chrome/Perfetto trace JSON file.
+
+        Requires ``ChefConfig(trace=True)``; with tracing off the file
+        is written but contains only metadata (no span events).
+        """
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(path, self.telemetry)
+
     # -- engine-facade conveniences -------------------------------------------
 
     def replay(self, case: TestCase):

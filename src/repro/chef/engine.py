@@ -18,6 +18,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.api.events import (
     BatchMerged,
     BudgetExhausted,
+    MetricsUpdated,
     PathCompleted,
     RunFinished,
     SessionEvent,
@@ -36,6 +37,8 @@ from repro.lowlevel.executor import (
 )
 from repro.lowlevel.machine import Status
 from repro.lowlevel.program import Program
+from repro.obs.metrics import split_prefixed
+from repro.obs.telemetry import Telemetry
 from repro.solver.backend import SolverBackend
 from repro.solver.csp import make_default_solver
 
@@ -101,10 +104,17 @@ class Chef:
         program: Program,
         config: Optional[ChefConfig] = None,
         solver: Optional[SolverBackend] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.config = config if config is not None else ChefConfig()
+        #: the engine-wide observability context, threaded through the
+        #: solver, the low-level engine and (in parallel mode) the
+        #: worker pool.  ``config.trace`` turns the span tracer on.
+        self.telemetry = (
+            telemetry if telemetry is not None else Telemetry(enabled=self.config.trace)
+        )
         self.solver: SolverBackend = solver if solver is not None else make_default_solver(
-            budget=self.config.solver_budget
+            budget=self.config.solver_budget, telemetry=self.telemetry
         )
         self.tree = HighLevelTree()
         self.cfg = HighLevelCfg()
@@ -112,6 +122,7 @@ class Chef:
             program,
             solver=self.solver,
             config=ExecutorConfig(max_instrs_per_path=self.config.path_instr_budget),
+            telemetry=self.telemetry,
         )
         self.ll.on_log_pc = self._on_log_pc
         self.ll.on_fork = self._on_fork
@@ -233,7 +244,7 @@ class Chef:
             yield from self._stream_parallel()
             return
         config = self.config
-        self._cache_stats_start = self._cache_stats_snapshot()
+        telemetry = self.telemetry
         self._start_time = time.monotonic()
         self.ll.config.deadline = self._start_time + config.time_budget
         state = self.ll.new_state()
@@ -241,11 +252,14 @@ class Chef:
             self.strategy.add(child)
         yield from self._flush_events()
         exhausted: Optional[str] = None
+        metrics_emitted = 0
+        sample_every = max(config.sample_every, 1)
         while True:
             exhausted = self._budget_reason()
             if exhausted is not None:
                 break
-            candidate = self.strategy.select()
+            with telemetry.span("chef.select", pending=len(self.strategy)):
+                candidate = self.strategy.select()
             if candidate is None:
                 break
             if self.ll.activate(candidate) != "sat":
@@ -253,10 +267,14 @@ class Chef:
             for child in self.ll.run_path(candidate):
                 self.strategy.add(child)
             yield from self._flush_events()
+            if self._ll_paths - metrics_emitted >= sample_every:
+                metrics_emitted = self._ll_paths
+                yield MetricsUpdated(metrics=telemetry.metrics())
         if exhausted is not None:
             yield BudgetExhausted(reason=exhausted)
         duration = time.monotonic() - self._start_time
         self._timeline.append((duration, self.tree.distinct_paths(), self._ll_paths))
+        yield MetricsUpdated(metrics=telemetry.metrics())
         yield RunFinished(
             result=RunResult(
                 suite=self.suite,
@@ -319,6 +337,7 @@ class Chef:
             namespace=self.ll.namespace,
             batch_size=config.worker_batch,
             trace_hlpc=True,
+            telemetry=self.telemetry,
         )
         explorer.on_merge = lambda chunk_index, result: self._merge_chunk(
             explorer.batches, chunk_index, result
@@ -329,6 +348,7 @@ class Chef:
             while batch:
                 explorer.submit(batch)
                 yield from self._flush_events()
+                yield MetricsUpdated(metrics=explorer.merged_metrics())
                 exhausted = self._budget_reason()
                 if exhausted is not None:
                     break
@@ -337,9 +357,15 @@ class Chef:
             yield BudgetExhausted(reason=exhausted)
         duration = time.monotonic() - self._start_time
         self._timeline.append((duration, self.tree.distinct_paths(), self._ll_paths))
-        solver_stats = explorer.aggregate("solver_stats")
-        for key, value in explorer.aggregate("cache_stats").items():
+        merged = explorer.merged_metrics()
+        # Fold the pool-wide totals into the engine context: from here on
+        # Chef.telemetry.metrics() answers for the whole run, and the
+        # legacy RunResult dicts below are prefix views of that snapshot.
+        self.telemetry.adopt_snapshot(merged)
+        solver_stats = split_prefixed(merged, "solver")
+        for key, value in split_prefixed(merged, "cache").items():
             solver_stats[f"cache_{key}"] = value
+        yield MetricsUpdated(metrics=self.telemetry.metrics())
         yield RunFinished(
             result=RunResult(
                 suite=self.suite,
@@ -347,7 +373,7 @@ class Chef:
                 ll_paths=self._ll_paths,
                 duration=duration,
                 timeline=list(self._timeline),
-                engine_stats=explorer.aggregate("engine_stats"),
+                engine_stats=split_prefixed(merged, "engine"),
                 solver_stats=solver_stats,
                 cfg_nodes=self.cfg.node_count(),
                 cfg_edges=self.cfg.edge_count(),
@@ -431,31 +457,28 @@ class Chef:
         return _PendingHandle(snap, meta, fork_group)
 
     def _pop_pending_batch(self, limit: int) -> List:
-        batch = []
-        while len(batch) < limit:
-            handle = self.strategy.select()
-            if handle is None:
-                break
-            batch.append(handle.snapshot)
+        with self.telemetry.span("chef.select", pending=len(self.strategy), limit=limit):
+            batch = []
+            while len(batch) < limit:
+                handle = self.strategy.select()
+                if handle is None:
+                    break
+                batch.append(handle.snapshot)
         return batch
-
-    def _cache_stats_snapshot(self) -> Dict[str, int]:
-        cache = getattr(self.solver, "cache", None)
-        if cache is None or not hasattr(cache, "stats_dict"):
-            return {}
-        return dict(cache.stats_dict())
 
     def _solver_stats(self) -> Dict[str, int]:
         """Backend counters plus this run's model-cache activity.
 
-        Default backends share the process-wide cache, so its counters
-        are reported as deltas against the snapshot taken at run start
-        — absolute values would be cumulative across runs.
+        The ``cache_*`` keys come from the telemetry view of the cache
+        registry.  Default backends share the process-wide cache, whose
+        counters are cumulative across runs; the low-level engine adopts
+        that registry with *baseline* semantics, so these are this run's
+        deltas — the bespoke snapshot-at-start bookkeeping this method
+        used to carry lives in :meth:`Telemetry.adopt_registry` now.
         """
         stats = dict(self.solver.stats.as_dict())
-        start = getattr(self, "_cache_stats_start", {})
-        for key, value in self._cache_stats_snapshot().items():
-            stats[f"cache_{key}"] = value - start.get(key, 0)
+        for key, value in split_prefixed(self.telemetry.metrics(), "cache").items():
+            stats[f"cache_{key}"] = value
         return stats
 
     def _budget_reason(self) -> Optional[str]:

@@ -104,5 +104,8 @@ class ChefConfig:
     workers: int = 1
     #: states shipped per worker per round in parallel mode.
     worker_batch: int = 8
+    #: record tracing spans (Chrome-trace export, per-phase histograms).
+    #: Metrics counters are always on; this gates only the tracer.
+    trace: bool = False
     #: extra metadata carried into results (benchmarks stamp configs here).
     tags: Optional[Dict[str, str]] = None

@@ -33,6 +33,8 @@ from repro.lowlevel.expr import (
 )
 from repro.lowlevel.machine import MachineState, Status
 from repro.lowlevel.program import Opcode, Program
+from repro.obs.metrics import MetricsRegistry, counter_property
+from repro.obs.telemetry import Telemetry
 from repro.solver.backend import SolverBackend
 from repro.solver.constraints import ConstraintSet
 from repro.solver.csp import make_default_solver
@@ -203,19 +205,38 @@ class State:
         )
 
 
-@dataclass
+#: Counter fields, registered as ``engine.<field>`` in the obs registry.
+_ENGINE_STAT_FIELDS = (
+    "paths_completed",
+    "forks",
+    "symptr_forks",
+    "instrs_executed",
+    "states_activated",
+    "states_infeasible",
+    "states_timeout",
+    "events",
+)
+
+
 class EngineStats:
-    paths_completed: int = 0
-    forks: int = 0
-    symptr_forks: int = 0
-    instrs_executed: int = 0
-    states_activated: int = 0
-    states_infeasible: int = 0
-    states_timeout: int = 0
-    events: int = 0
+    """Execution counters — an attribute view over ``engine.*`` registry
+    counters (see :mod:`repro.obs.metrics`), so the engine, benchmarks
+    and ``Session.metrics()`` all read one store."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            field: self.registry.counter(f"engine.{field}")
+            for field in _ENGINE_STAT_FIELDS
+        }
 
     def as_dict(self) -> Dict[str, int]:
-        return dict(self.__dict__)
+        return {field: counter.value for field, counter in self._counters.items()}
+
+
+for _engine_field in _ENGINE_STAT_FIELDS:
+    setattr(EngineStats, _engine_field, counter_property(_engine_field))
+del _engine_field
 
 
 class LowLevelEngine:
@@ -226,13 +247,30 @@ class LowLevelEngine:
         program: Program,
         solver: Optional[SolverBackend] = None,
         config: Optional[ExecutorConfig] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         if not program.finalized:
             program.finalize()
         self.program = program
-        self.solver: SolverBackend = solver if solver is not None else make_default_solver()
+        if telemetry is None:
+            # Inherit the solver's context when it has one, else a fresh
+            # (disabled) private context — metrics always accumulate.
+            telemetry = getattr(solver, "telemetry", None) or Telemetry()
+        self.telemetry = telemetry
+        self.solver: SolverBackend = (
+            solver if solver is not None else make_default_solver(telemetry=telemetry)
+        )
+        # One metrics() view per engine: adopt the registries of a
+        # caller-supplied solver and of the (possibly process-wide,
+        # hence baseline-delta'd) model cache.
+        solver_registry = getattr(getattr(self.solver, "stats", None), "registry", None)
+        if solver_registry is not None:
+            telemetry.adopt_registry(solver_registry)
+        cache_registry = getattr(getattr(self.solver, "cache", None), "registry", None)
+        if cache_registry is not None:
+            telemetry.adopt_registry(cache_registry, baseline=True)
         self.config = config if config is not None else ExecutorConfig()
-        self.stats = EngineStats()
+        self.stats = EngineStats(telemetry.registry)
         self._next_sid = 0
         self.namespace = fresh_namespace()
         # Listener hooks (set by the Chef engine).
@@ -293,6 +331,18 @@ class LowLevelEngine:
         """
         if not state.pending:
             return "sat"
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            with telemetry.span(
+                "engine.activate", sid=state.sid, atoms=len(state.path_condition)
+            ) as span:
+                verdict = self._activate_pending(state)
+                span.set(verdict=verdict)
+            return verdict
+        return self._activate_pending(state)
+
+    def _activate_pending(self, state: State) -> str:
+        """Feasibility probe + model assignment for a pending state."""
         result = self.solver.check(
             state.path_condition, hint=state.seed_assignment
         )
@@ -343,6 +393,7 @@ class LowLevelEngine:
                     else DEFAULT_BUDGET
                 ),
                 batch_size=batch_size,
+                telemetry=self.telemetry,
             )
             return explorer.explore(max_states=max_states)
 
@@ -385,7 +436,24 @@ class LowLevelEngine:
         """Run ``state`` along its concrete path until it terminates.
 
         Returns the pending alternate states forked along the way.
+        Instrumented at *batch* granularity — one span per executed
+        path, never per instruction, so the dispatch loop itself stays
+        untouched and disabled-mode overhead is one branch per path.
         """
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return self._run_path_impl(state, max_instrs)
+        start_instrs = state.instr_count
+        with telemetry.span("engine.run_path", sid=state.sid) as span:
+            pending = self._run_path_impl(state, max_instrs)
+            span.set(
+                instrs=state.instr_count - start_instrs,
+                forks=len(pending),
+                status=state.status,
+            )
+        return pending
+
+    def _run_path_impl(self, state: State, max_instrs: Optional[int]) -> List[State]:
         if state.pending:
             raise GuestFault("cannot run a pending state; activate() it first")
         pending: List[State] = []

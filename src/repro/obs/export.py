@@ -1,0 +1,175 @@
+"""Exporters: Chrome trace-event JSON, JSON-lines, plain-text summary.
+
+The Chrome trace export is the one that explains parallel runs: every
+telemetry context records its events with a ``lane`` name
+("coordinator", "worker-<pid>"), and the exporter maps each lane to its
+own thread row — load the file in ``chrome://tracing`` or
+https://ui.perfetto.dev and the coordinator's ship/merge spans line up
+against the workers' solver/snapshot spans, making the serial sections
+(and hence any sub-1× "speedup") visible instead of inferred.
+
+Internal event form (produced by :class:`repro.obs.telemetry.Span`):
+``{"name", "ph", "ts", "dur", "pid", "lane", "args"}`` with times in
+``time.perf_counter`` seconds; the Chrome export rebases to the
+earliest event and converts to microseconds, per the trace-event
+format's ``X`` (complete) and ``M`` (metadata) phases.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+__all__ = [
+    "chrome_trace",
+    "summary_table",
+    "write_chrome_trace",
+    "write_events_jsonl",
+]
+
+
+def _lanes_in_order(events: List[Dict]) -> List[str]:
+    """Unique lane names: coordinator/main first, then by appearance."""
+    seen: List[str] = []
+    for event in events:
+        lane = event.get("lane", "main")
+        if lane not in seen:
+            seen.append(lane)
+    head = [lane for lane in seen if lane in ("coordinator", "main")]
+    return head + [lane for lane in seen if lane not in ("coordinator", "main")]
+
+
+def chrome_trace(events: List[Dict], metrics: Optional[Dict] = None) -> Dict:
+    """Trace-event JSON document (the ``{"traceEvents": [...]}`` form).
+
+    One process row, one thread row per lane; ``metrics`` (a registry
+    snapshot) rides along under ``otherData`` so a trace file is
+    self-describing.
+    """
+    lanes = _lanes_in_order(events)
+    tids = {lane: index + 1 for index, lane in enumerate(lanes)}
+    t0 = min((event["ts"] for event in events), default=0.0)
+    trace_events: List[Dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "repro symbolic execution"},
+        }
+    ]
+    for lane in lanes:
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": 1,
+                "tid": tids[lane],
+                "args": {"name": lane},
+            }
+        )
+        trace_events.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "ts": 0,
+                "pid": 1,
+                "tid": tids[lane],
+                "args": {"sort_index": tids[lane]},
+            }
+        )
+    for event in events:
+        trace_events.append(
+            {
+                "name": event["name"],
+                "ph": event.get("ph", "X"),
+                "ts": (event["ts"] - t0) * 1e6,
+                "dur": event.get("dur", 0.0) * 1e6,
+                "pid": 1,
+                "tid": tids[event.get("lane", "main")],
+                "args": dict(event.get("args") or {}),
+            }
+        )
+    document: Dict = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    if metrics is not None:
+        document["otherData"] = {"metrics": metrics}
+    return document
+
+
+def write_chrome_trace(path: str, telemetry) -> str:
+    """Write the telemetry context's events as a Chrome trace file."""
+    document = chrome_trace(telemetry.events, metrics=telemetry.metrics())
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def write_events_jsonl(path: str, telemetry) -> str:
+    """Write one JSON object per span event (machine-greppable log)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in telemetry.events:
+            handle.write(json.dumps(event, sort_keys=True))
+            handle.write("\n")
+    return path
+
+
+def _render(headers, rows) -> str:
+    cells = [list(map(str, headers))] + [list(map(str, row)) for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def summary_table(telemetry) -> str:
+    """Plain-text run summary: metric catalogue + span time breakdown.
+
+    Sections: scalar metrics (counters/gauges) sorted by name, then
+    span histograms sorted by total time with their slowest captures.
+    """
+    metrics = telemetry.metrics()
+    scalar_rows = [
+        [name, value]
+        for name, value in sorted(metrics.items())
+        if not isinstance(value, dict)
+    ]
+    span_items = sorted(
+        ((name, value) for name, value in metrics.items() if isinstance(value, dict)),
+        key=lambda item: -item[1].get("sum", 0.0),
+    )
+    span_rows = []
+    slowest_lines = []
+    for name, hist in span_items:
+        count = hist.get("count", 0)
+        total = hist.get("sum", 0.0)
+        mean = total / count if count else 0.0
+        span_rows.append(
+            [
+                name,
+                count,
+                f"{total * 1e3:.3f}",
+                f"{mean * 1e6:.1f}",
+                f"{(hist.get('max') or 0.0) * 1e6:.1f}",
+            ]
+        )
+        for value, label in hist.get("slowest", [])[:1]:
+            slowest_lines.append(
+                f"  {name}: {value * 1e3:.3f} ms  ({label or 'no attrs'})"
+            )
+    sections = ["== metrics ==", _render(["metric", "value"], scalar_rows)]
+    if span_rows:
+        sections += [
+            "",
+            "== spans ==",
+            _render(["span", "count", "total ms", "mean us", "max us"], span_rows),
+            "",
+            "== slowest per span ==",
+            "\n".join(slowest_lines),
+        ]
+    return "\n".join(sections)

@@ -11,6 +11,18 @@ scheduling.  Worker-discovered cache entries are folded into the master
 cache and re-broadcast to the whole pool with the next batch, which is
 what carries subset-UNSAT/superset-SAT reuse across process boundaries.
 
+Observability: the explorer takes the engine's
+:class:`~repro.obs.telemetry.Telemetry` context and records its
+ship/merge spans on a ``coordinator`` lane of the same event log; each
+:class:`WorkerResult` carries the worker's cumulative metrics-registry
+snapshot and its trace-event slice, so the Chrome-trace export shows
+one swimlane per worker process next to the coordinator's.  Metric
+aggregation keeps only the *latest* snapshot per worker pid (snapshots
+are cumulative) and merges them on demand — there is no bespoke
+counter-dict summing left; the legacy ``engine_stats`` /
+``solver_stats`` / ``cache_stats`` dicts are prefix-split views of the
+one merged snapshot.
+
 For exhaustive runs the set of explored paths is identical to a serial
 run: feasibility verdicts do not depend on cache content, only the
 order of discovery does.  One caveat on *witness inputs*: when a branch
@@ -33,24 +45,32 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.lowlevel.executor import ExecutorConfig
 from repro.lowlevel.program import Program
+from repro.obs.metrics import merge_snapshots, split_prefixed
+from repro.obs.telemetry import Telemetry
 from repro.parallel.snapshot import StateSnapshot, boot_snapshot
 from repro.parallel.worker import WorkerResult, init_worker, run_batch
 from repro.solver.cache import ModelCache
 from repro.solver.constraints import ConstraintSet
 from repro.solver.csp import DEFAULT_BUDGET
 
+#: legacy stat-dict name → metric-name prefix in the merged snapshot.
+_STAT_PREFIXES = {
+    "engine_stats": "engine",
+    "solver_stats": "solver",
+    "cache_stats": "cache",
+}
+
 
 @dataclass(frozen=True)
-class _WorkerCounters:
+class _WorkerSlice:
     """The slice of a :class:`WorkerResult` kept for stat aggregation.
 
     Retaining the whole result would pin the last round's path records,
     pending snapshots and cache delta for as long as the explorer lives.
+    ``metrics`` is the worker's *cumulative* registry snapshot.
     """
 
-    engine_stats: Dict[str, int]
-    solver_stats: Dict[str, int]
-    cache_stats: Dict[str, int]
+    metrics: Dict
     states_created: int
 
 
@@ -115,6 +135,9 @@ class ExploreResult:
     solver_stats: Dict[str, int] = field(default_factory=dict)
     cache_stats: Dict[str, int] = field(default_factory=dict)
     coordinator_cache: Dict[str, int] = field(default_factory=dict)
+    #: merged dotted-name metrics snapshot across all workers (the
+    #: ``*_stats`` dicts above are prefix-split views of this).
+    metrics: Dict = field(default_factory=dict)
     workers: int = 1
     batches: int = 0
     states_run: int = 0
@@ -137,6 +160,7 @@ class ParallelExplorer:
         namespace: Optional[str] = None,
         batch_size: int = 8,
         trace_hlpc: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -153,8 +177,18 @@ class ParallelExplorer:
         self.namespace = namespace
         self.batch_size = batch_size
         self.trace_hlpc = trace_hlpc
+        if telemetry is None:
+            telemetry = Telemetry()
+        #: the caller's telemetry context; worker trace events are folded
+        #: into its log, and coordinator spans are recorded via a
+        #: same-log child under the "coordinator" lane.
+        self.telemetry = telemetry
+        self._tele = telemetry.child("coordinator")
         #: master model cache; worker deltas are folded here and
-        #: re-broadcast with the next batch.
+        #: re-broadcast with the next batch.  It keeps a *private*
+        #: registry: its counters describe coordinator-side folding and
+        #: would double-count reuse against the merged worker ``cache.*``
+        #: totals if they shared a registry.
         self.master_cache = ModelCache()
         #: per-worker-pid journal high-water marks: the master-cache mark
         #: each worker is known to have merged up to.  Broadcasts cover
@@ -163,7 +197,7 @@ class ParallelExplorer:
         #: up later; receivers dedup re-shipped entries by fingerprint.
         self._pid_marks: Dict[int, int] = {}
         self._pool = None
-        self._latest_by_pid: Dict[int, _WorkerCounters] = {}
+        self._latest_by_pid: Dict[int, _WorkerSlice] = {}
         self.batches = 0
         #: optional merge hook ``(chunk_index, WorkerResult) -> None``,
         #: invoked per chunk in deterministic chunk order right after
@@ -179,7 +213,7 @@ class ParallelExplorer:
         if self._pool is not None:
             return self
         # A fresh pool means fresh worker processes: drop the dead pool's
-        # cumulative per-pid counters (aggregate() would double-count
+        # cumulative per-pid counters (aggregation would double-count
         # them) and its broadcast marks (new workers know nothing yet;
         # pids can even be recycled by the OS).
         self._latest_by_pid.clear()
@@ -196,6 +230,7 @@ class ParallelExplorer:
                 self.namespace,
                 self.solver_budget,
                 self.trace_hlpc,
+                self.telemetry.enabled,
             ),
         )
         return self
@@ -233,20 +268,36 @@ class ParallelExplorer:
             base_mark = 0  # some worker has never reported; it knows nothing
         delta = self.master_cache.export_delta(base_mark)
         round_mark = self.master_cache.journal_mark()
-        results = self._pool.map(run_batch, [(chunk, delta) for chunk in chunks], chunksize=1)
-        for chunk_index, result in enumerate(results):
-            self.master_cache.merge(result.cache_delta)
-            self._latest_by_pid[result.pid] = _WorkerCounters(
-                engine_stats=result.engine_stats,
-                solver_stats=result.solver_stats,
-                cache_stats=result.cache_stats,
-                states_created=result.states_created,
+        with self._tele.span(
+            "parallel.ship",
+            round=self.batches,
+            states=len(snapshots),
+            chunks=len(chunks),
+            delta=len(delta),
+        ):
+            results = self._pool.map(
+                run_batch, [(chunk, delta) for chunk in chunks], chunksize=1
             )
-            # This worker merged [base_mark, round_mark) on top of its own
-            # previous mark (>= base_mark), so it now holds the full prefix.
-            self._pid_marks[result.pid] = round_mark
-            if self.on_merge is not None:
-                self.on_merge(chunk_index, result)
+        for chunk_index, result in enumerate(results):
+            with self._tele.span(
+                "parallel.merge",
+                round=self.batches,
+                chunk=chunk_index,
+                records=len(result.records),
+                pending=len(result.pending),
+            ):
+                self.master_cache.merge(result.cache_delta)
+                self._latest_by_pid[result.pid] = _WorkerSlice(
+                    metrics=result.metrics,
+                    states_created=result.states_created,
+                )
+                self.telemetry.extend_events(result.trace_events)
+                # This worker merged [base_mark, round_mark) on top of its
+                # own previous mark (>= base_mark), so it holds the full
+                # prefix now.
+                self._pid_marks[result.pid] = round_mark
+                if self.on_merge is not None:
+                    self.on_merge(chunk_index, result)
         self.batches += 1
         return results
 
@@ -280,12 +331,14 @@ class ParallelExplorer:
         finally:
             if own_pool:
                 self.close()
+        merged = self.merged_metrics()
         return ExploreResult(
             records=records,
-            engine_stats=self.aggregate("engine_stats"),
-            solver_stats=self.aggregate("solver_stats"),
-            cache_stats=self.aggregate("cache_stats"),
+            engine_stats=split_prefixed(merged, "engine"),
+            solver_stats=split_prefixed(merged, "solver"),
+            cache_stats=split_prefixed(merged, "cache"),
             coordinator_cache=self.master_cache.stats_dict(),
+            metrics=merged,
             workers=self.workers,
             batches=self.batches,
             states_run=states_run,
@@ -295,13 +348,19 @@ class ParallelExplorer:
 
     # -- statistics -----------------------------------------------------------
 
+    def merged_metrics(self) -> Dict:
+        """Pool-wide metrics: latest cumulative snapshot per pid, merged."""
+        return merge_snapshots(
+            [worker.metrics for worker in self._latest_by_pid.values()]
+        )
+
     def aggregate(self, kind: str) -> Dict[str, int]:
-        """Sum a cumulative per-worker counter dict across the pool."""
-        totals: Dict[str, int] = {}
-        for result in self._latest_by_pid.values():
-            for key, value in getattr(result, kind).items():
-                totals[key] = totals.get(key, 0) + value
-        return totals
+        """Legacy counter-dict view of :meth:`merged_metrics`.
+
+        ``kind`` is one of ``engine_stats`` / ``solver_stats`` /
+        ``cache_stats`` — the prefix-split slice of the merged snapshot.
+        """
+        return split_prefixed(self.merged_metrics(), _STAT_PREFIXES[kind])
 
     def states_created(self) -> int:
         """Distinct states ever created across the pool, boot included.

@@ -2,15 +2,20 @@
 
 Each worker owns a private :class:`LowLevelEngine` (same program, same
 symbolic-variable namespace as the coordinator, an isolated
-:class:`ModelCache`).  Per task it first folds the coordinator's
-model-cache delta into its cache, then activates and runs every state in
-the batch, and returns terminated-path records, snapshots of the new
-pending alternates, its cumulative counters, and the cache entries it
-discovered since the merge (for the coordinator to fold and re-broadcast).
+:class:`ModelCache`) and one :class:`~repro.obs.telemetry.Telemetry`
+context whose lane is ``worker-<pid>`` — every counter the engine,
+solver and cache increment lands in that one registry.  Per task it
+first folds the coordinator's model-cache delta into its cache, then
+activates and runs every state in the batch, and returns
+terminated-path records, snapshots of the new pending alternates, a
+cumulative snapshot of its metrics registry, the trace events recorded
+during the batch (worker swimlanes in the Chrome trace), and the cache
+entries it discovered since the merge (for the coordinator to fold and
+re-broadcast).
 
-Counters are cumulative per worker process; the coordinator keeps the
-latest result per pid and sums at the end, so batch boundaries do not
-double-count.
+Metrics snapshots are cumulative per worker process; the coordinator
+keeps the latest snapshot per pid and merges at the end, so batch
+boundaries do not double-count.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.lowlevel.executor import ExecutorConfig, LowLevelEngine
 from repro.lowlevel.program import Program
+from repro.obs.telemetry import Telemetry
 from repro.parallel.snapshot import StateSnapshot, path_record_of, restore_state, snapshot_state
 from repro.solver.cache import ModelCache
 from repro.solver.csp import CspSolver
@@ -44,12 +50,11 @@ class WorkerResult:
     pending: List[StateSnapshot] = field(default_factory=list)
     #: verdicts of activation per input state ("sat"/"unsat"/"timeout").
     verdicts: Tuple[str, ...] = ()
-    #: cumulative engine counters for this worker process.
-    engine_stats: Dict[str, int] = field(default_factory=dict)
-    #: cumulative solver counters for this worker process.
-    solver_stats: Dict[str, int] = field(default_factory=dict)
-    #: cumulative model-cache counters for this worker process.
-    cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: cumulative metrics-registry snapshot for this worker process
+    #: (``engine.*`` / ``solver.*`` / ``cache.*`` names — one registry).
+    metrics: Dict = field(default_factory=dict)
+    #: span events recorded during this batch (worker-lane trace slice).
+    trace_events: List = field(default_factory=list)
     #: portable cache entries discovered during this batch.
     cache_delta: List = field(default_factory=list)
     #: states this worker has *created* (forks), excluding snapshots it
@@ -63,13 +68,20 @@ def init_worker(
     namespace: str,
     solver_budget: int,
     trace_hlpc: bool = False,
+    trace: bool = False,
 ) -> None:
     """Pool initializer: build this process's engine once."""
     global _ENGINE
+    telemetry = Telemetry(enabled=trace, lane=f"worker-{os.getpid()}")
     engine = LowLevelEngine(
         program,
-        solver=CspSolver(budget=solver_budget, cache=ModelCache()),
+        solver=CspSolver(
+            budget=solver_budget,
+            cache=ModelCache(registry=telemetry.registry),
+            telemetry=telemetry,
+        ),
         config=exec_config,
+        telemetry=telemetry,
     )
     # All workers and the coordinator must agree on symbolic variable
     # names; override the per-process engine counter namespace.
@@ -104,33 +116,37 @@ def run_batch(task: Tuple[List[StateSnapshot], List]) -> WorkerResult:
     snapshots, delta = task
     engine = _ENGINE
     assert engine is not None, "worker used before init_worker ran"
+    telemetry = engine.telemetry
     _RESTORED += len(snapshots)
     cache = engine.solver.cache
-    cache.merge(delta)
+    with telemetry.span("worker.merge_delta", entries=len(delta)):
+        cache.merge(delta)
     mark = cache.journal_mark()
 
     records: List = []
     pending: List[StateSnapshot] = []
     verdicts: List[str] = []
-    for snap in snapshots:
-        state = restore_state(snap, engine.program, engine._fresh_sid())
-        verdict = engine.activate(state)
-        verdicts.append(verdict)
-        if verdict != "sat":
-            continue
-        children = engine.run_path(state)
-        pending.extend(snapshot_state(child) for child in children)
-        if state.terminated():
-            records.append(path_record_of(state))
+    with telemetry.span("worker.batch", states=len(snapshots)):
+        for snap in snapshots:
+            with telemetry.span("snapshot.decode"):
+                state = restore_state(snap, engine.program, engine._fresh_sid())
+            verdict = engine.activate(state)
+            verdicts.append(verdict)
+            if verdict != "sat":
+                continue
+            children = engine.run_path(state)
+            with telemetry.span("snapshot.encode", children=len(children)):
+                pending.extend(snapshot_state(child) for child in children)
+            if state.terminated():
+                records.append(path_record_of(state))
 
     return WorkerResult(
         pid=os.getpid(),
         records=records,
         pending=pending,
         verdicts=tuple(verdicts),
-        engine_stats=engine.stats.as_dict(),
-        solver_stats=engine.solver.stats.as_dict(),
-        cache_stats=cache.stats_dict(),
+        metrics=telemetry.registry.snapshot(),
+        trace_events=telemetry.drain_events(),
         cache_delta=cache.export_delta(mark),
         states_created=engine._next_sid - _RESTORED,
     )

@@ -54,6 +54,19 @@ class SolverBackend(ABC):
     Implementations expose a ``stats`` attribute with an ``as_dict()``
     method (counters reported by benchmarks) and may expose a ``cache``
     attribute for engine-wide model caching.
+
+    Observability contract (optional but recommended): keep the stats
+    counters in a :class:`~repro.obs.metrics.MetricsRegistry` exposed
+    as ``stats.registry`` under ``solver.*`` names, and accept a
+    ``telemetry`` context (:class:`~repro.obs.telemetry.Telemetry`) to
+    record ``solver.check`` / ``solver.max_value`` spans.  The
+    low-level engine adopts ``stats.registry`` (and the cache's) into
+    its telemetry context when present, which is what makes the
+    backend's numbers show up in ``Session.metrics()`` and the trace
+    exports; a backend without a registry still works — its counters
+    are just invisible to the metrics surface.  See the default
+    :class:`~repro.solver.csp.CspSolver` and the "Observability"
+    section of ``docs/architecture.md``.
     """
 
     @abstractmethod

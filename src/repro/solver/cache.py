@@ -32,6 +32,7 @@ from collections import OrderedDict
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.lowlevel.expr import Expr, fingerprint
+from repro.obs.metrics import MetricsRegistry, counter_property
 
 #: Sentinel stored (and returned) for unsatisfiable entries.
 UNSAT = "unsat"
@@ -41,9 +42,26 @@ HIT_EXACT = "exact"
 HIT_SUBSET_UNSAT = "subset-unsat"
 HIT_SUPERSET_SAT = "superset-sat"
 
+#: Counter fields, registered as ``cache.<field>`` in the obs registry.
+_COUNTER_FIELDS = (
+    "hits",
+    "subset_hits",
+    "superset_hits",
+    "misses",
+    "stores",
+    "merged_stores",
+    "merged_hits",
+)
+
 
 class ModelCache:
-    """Memoises per-component verdicts and recent satisfying models."""
+    """Memoises per-component verdicts and recent satisfying models.
+
+    Counters live in a :class:`~repro.obs.metrics.MetricsRegistry`
+    under ``cache.*`` names (pass ``registry`` to share an engine
+    context's registry; the historical ``cache.hits``-style attributes
+    remain as live views).
+    """
 
     def __init__(
         self,
@@ -51,6 +69,7 @@ class ModelCache:
         max_models: int = 64,
         scan_limit: int = 128,
         max_journal: int = 8192,
+        registry: Optional[MetricsRegistry] = None,
     ):
         #: key → model dict or UNSAT, most recently used last.
         self._entries: "OrderedDict[FrozenSet[int], object]" = OrderedDict()
@@ -58,11 +77,11 @@ class ModelCache:
         self._max_entries = max_entries
         self._max_models = max_models
         self._scan_limit = scan_limit
-        self.hits = 0
-        self.subset_hits = 0
-        self.superset_hits = 0
-        self.misses = 0
-        self.stores = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            field: self.registry.counter(f"cache.{field}") for field in _COUNTER_FIELDS
+        }
+        self._g_entries = self.registry.gauge("cache.entries")
         # -- cross-process delta protocol ----------------------------------
         #: append-only journal of portable entries: (fingerprint key,
         #: atom tuple, result).  Atoms re-intern on unpickle, so a journal
@@ -79,8 +98,6 @@ class ModelCache:
         #: local keys that arrived via merge(); hits on them are counted
         #: separately as cross-worker reuse.
         self._merged_keys: set = set()
-        self.merged_stores = 0
-        self.merged_hits = 0
 
     @staticmethod
     def key_for(atoms) -> FrozenSet[int]:
@@ -153,6 +170,7 @@ class ModelCache:
             if fp_key is not None:
                 self._known_fps.discard(fp_key)
             self._merged_keys.discard(evicted_key)
+        self._g_entries.value = len(self._entries)
         if is_new and atoms is not None:
             self._journal_entry(key, tuple(atoms), result)
         if isinstance(result, dict):
@@ -232,30 +250,25 @@ class ModelCache:
     def clear(self) -> None:
         self._entries.clear()
         self._recent_models.clear()
-        self.hits = 0
-        self.subset_hits = 0
-        self.superset_hits = 0
-        self.misses = 0
-        self.stores = 0
+        for counter in self._counters.values():
+            counter.value = 0
+        self._g_entries.value = 0
         self._journal.clear()
         self._journal_base = 0
         self._known_fps.clear()
         self._fp_of_key.clear()
         self._merged_keys.clear()
-        self.merged_stores = 0
-        self.merged_hits = 0
 
     def stats_dict(self) -> Dict[str, int]:
-        return {
-            "hits": self.hits,
-            "subset_hits": self.subset_hits,
-            "superset_hits": self.superset_hits,
-            "misses": self.misses,
-            "stores": self.stores,
-            "entries": len(self._entries),
-            "merged_stores": self.merged_stores,
-            "merged_hits": self.merged_hits,
-        }
+        """Legacy counter-dict view of the ``cache.*`` registry metrics."""
+        stats = {field: counter.value for field, counter in self._counters.items()}
+        stats["entries"] = len(self._entries)
+        return stats
+
+
+for _field in _COUNTER_FIELDS:
+    setattr(ModelCache, _field, counter_property(_field))
+del _field
 
 
 #: Import-compatible alias for the pre-refactor class name ONLY — the

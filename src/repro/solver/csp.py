@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import SolverTimeout
+from repro.obs.metrics import MetricsRegistry, counter_property
+from repro.obs.telemetry import Telemetry
 from repro.lowlevel.expr import (
     BinExpr,
     COMPARISONS,
@@ -60,27 +62,48 @@ DEFAULT_MAX_CAP = 1 << 20
 Constraints = Union[ConstraintSet, Sequence]
 
 
-@dataclass
-class SolverStats:
-    """Counters accumulated across queries (reported by benchmarks)."""
+#: Counter fields, registered as ``solver.<field>`` in the obs registry.
+#: ``incremental_hits`` counts queries answered (fully or partly) from a
+#: known ancestor model; ``component_cache_hits`` counts components
+#: resolved from the engine-wide model cache; ``atoms_sliced`` counts
+#: atoms never (re)solved because independence slicing adopted the
+#: ancestor model for their whole component.
+_STAT_FIELDS = (
+    "queries",
+    "sat",
+    "unsat",
+    "timeouts",
+    "search_steps",
+    "cex_reuses",
+    "max_value_queries",
+    "incremental_hits",
+    "component_cache_hits",
+    "atoms_sliced",
+)
 
-    queries: int = 0
-    sat: int = 0
-    unsat: int = 0
-    timeouts: int = 0
-    search_steps: int = 0
-    cex_reuses: int = 0
-    max_value_queries: int = 0
-    #: queries answered (fully or partly) from a known ancestor model.
-    incremental_hits: int = 0
-    #: components resolved from the engine-wide model cache.
-    component_cache_hits: int = 0
-    #: atoms never (re)solved because independence slicing adopted the
-    #: ancestor model for their whole component.
-    atoms_sliced: int = 0
+
+class SolverStats:
+    """Counters accumulated across queries (reported by benchmarks).
+
+    A live attribute view over ``solver.*`` counters in an obs
+    :class:`~repro.obs.metrics.MetricsRegistry` — the same store that
+    backs ``Session.metrics()`` and the bench JSON, so there is exactly
+    one set of numbers.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            field: self.registry.counter(f"solver.{field}") for field in _STAT_FIELDS
+        }
 
     def as_dict(self) -> Dict[str, int]:
-        return dict(self.__dict__)
+        return {field: counter.value for field, counter in self._counters.items()}
+
+
+for _field in _STAT_FIELDS:
+    setattr(SolverStats, _field, counter_property(_field))
+del _field
 
 
 @dataclass
@@ -276,11 +299,13 @@ class CspSolver(SolverBackend):
         budget: int = DEFAULT_BUDGET,
         cache: Optional[ModelCache] = None,
         incremental: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.budget = budget
         self.cache = cache if cache is not None else global_model_cache()
         self.incremental = incremental
-        self.stats = SolverStats()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.stats = SolverStats(self.telemetry.registry)
 
     # -- SolverBackend protocol ---------------------------------------------
 
@@ -291,6 +316,21 @@ class CspSolver(SolverBackend):
         budget: Optional[int] = None,
     ) -> CheckResult:
         """Decide satisfiability; UNKNOWN when the budget runs out."""
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return self._check_impl(constraints, hint, budget)
+        cs = self._as_set(constraints)
+        with telemetry.span("solver.check", atoms=len(cs)) as span:
+            result = self._check_impl(cs, hint, budget)
+            span.set(status=result.status)
+        return result
+
+    def _check_impl(
+        self,
+        constraints: Constraints,
+        hint: Optional[Dict[str, int]],
+        budget: Optional[int],
+    ) -> CheckResult:
         try:
             model = self._solve_set(self._as_set(constraints), hint, budget)
         except SolverTimeout:
@@ -335,6 +375,21 @@ class CspSolver(SolverBackend):
         Returns None when the constraints are unsatisfiable.  The result is
         clamped to ``cap`` so unconstrained expressions stay finite.
         """
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            with telemetry.span("solver.max_value", cap=cap) as span:
+                result = self._max_value_impl(expr, constraints, cap, hint)
+                span.set(result=result)
+            return result
+        return self._max_value_impl(expr, constraints, cap, hint)
+
+    def _max_value_impl(
+        self,
+        expr,
+        constraints: Constraints,
+        cap: int,
+        hint: Optional[Dict[str, int]],
+    ) -> Optional[int]:
         self.stats.max_value_queries += 1
         cs = self._as_set(constraints)
         if not isinstance(expr, Expr):
@@ -708,9 +763,15 @@ class CspSolver(SolverBackend):
         return None, steps
 
 
-def make_default_solver(budget: int = DEFAULT_BUDGET) -> CspSolver:
-    """Factory used by the engine; backed by the engine-wide model cache."""
-    return CspSolver(budget=budget)
+def make_default_solver(
+    budget: int = DEFAULT_BUDGET, telemetry: Optional[Telemetry] = None
+) -> CspSolver:
+    """Factory used by the engine; backed by the engine-wide model cache.
+
+    ``telemetry`` shares the caller's observability context (registry +
+    tracer) so solver counters land in the engine's one registry.
+    """
+    return CspSolver(budget=budget, telemetry=telemetry)
 
 
 __all__ = [

@@ -1,0 +1,118 @@
+"""Span tracer and exporter tests: no-op discipline, schema, round-trip."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import (
+    chrome_trace,
+    summary_table,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from repro.obs.telemetry import NULL_SPAN, Telemetry
+
+
+class TestSpanDiscipline:
+    def test_disabled_span_is_the_shared_noop_singleton(self):
+        telemetry = Telemetry(enabled=False)
+        span = telemetry.span("solver.check", atoms=3)
+        assert span is NULL_SPAN
+        with span as inner:
+            inner.set(status="sat")  # must be a silent no-op
+        assert telemetry.events == []
+        assert "span.solver.check" not in telemetry.registry.snapshot()
+
+    def test_enabled_span_records_event_and_histogram(self):
+        telemetry = Telemetry(enabled=True, lane="main")
+        with telemetry.span("solver.check", atoms=3) as span:
+            span.set(status="sat")
+        (event,) = telemetry.events
+        assert event["name"] == "solver.check"
+        assert event["ph"] == "X"
+        assert event["lane"] == "main"
+        assert event["dur"] >= 0.0
+        assert event["args"] == {"atoms": 3, "status": "sat"}
+        hist = telemetry.registry.snapshot()["span.solver.check"]
+        assert hist["count"] == 1
+        assert hist["slowest"][0][1] == "atoms=3, status=sat"
+
+    def test_child_shares_log_and_registry_under_new_lane(self):
+        telemetry = Telemetry(enabled=True, lane="main")
+        child = telemetry.child("coordinator")
+        with child.span("parallel.ship"):
+            pass
+        assert child.registry is telemetry.registry
+        (event,) = telemetry.events  # same event list
+        assert event["lane"] == "coordinator"
+
+    def test_drain_and_extend_round_trip(self):
+        worker = Telemetry(enabled=True, lane="worker-1")
+        with worker.span("snapshot.decode"):
+            pass
+        shipped = worker.drain_events()
+        assert worker.events == []
+        coordinator = Telemetry(enabled=True)
+        coordinator.extend_events(shipped)
+        assert [e["lane"] for e in coordinator.events] == ["worker-1"]
+
+
+def _traced_context() -> Telemetry:
+    telemetry = Telemetry(enabled=True, lane="main")
+    with telemetry.span("solver.check", atoms=2):
+        pass
+    worker = Telemetry(enabled=True, lane="worker-7")
+    with worker.span("engine.run_path", sid=1):
+        pass
+    telemetry.extend_events(worker.drain_events())
+    telemetry.registry.counter("solver.queries").inc(5)
+    return telemetry
+
+
+class TestChromeTraceExport:
+    def test_schema_and_lane_metadata(self):
+        telemetry = _traced_context()
+        document = chrome_trace(telemetry.events, metrics=telemetry.metrics())
+        events = document["traceEvents"]
+        assert document["displayTimeUnit"] == "ms"
+        # Every event carries the chrome-trace required keys.
+        for event in events:
+            assert {"name", "ph", "pid", "tid", "ts"} <= set(event)
+        # One thread_name metadata event per lane, distinct tids.
+        names = {
+            event["args"]["name"]: event["tid"]
+            for event in events
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert set(names) == {"main", "worker-7"}
+        assert len(set(names.values())) == 2
+        # X events are rebased to the earliest timestamp, in microseconds.
+        xs = [event for event in events if event["ph"] == "X"]
+        assert len(xs) == 2
+        assert min(event["ts"] for event in xs) == 0
+        assert all(event["dur"] >= 0 for event in xs)
+        assert document["otherData"]["metrics"]["solver.queries"] == 5
+
+    def test_write_is_valid_json(self, tmp_path):
+        telemetry = _traced_context()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, telemetry)
+        document = json.loads(path.read_text())
+        assert document["traceEvents"]
+
+    def test_jsonl_round_trips_every_event(self, tmp_path):
+        telemetry = _traced_context()
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(path, telemetry)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == len(telemetry.events)
+        assert {line["name"] for line in lines} == {"solver.check", "engine.run_path"}
+
+
+class TestSummaryTable:
+    def test_summary_lists_metrics_and_spans(self):
+        telemetry = _traced_context()
+        text = summary_table(telemetry)
+        assert "solver.queries" in text
+        assert "span.solver.check" in text
+        assert "slowest" in text

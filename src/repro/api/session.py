@@ -48,12 +48,13 @@ class SymbolicSession:
         *,
         solver: Optional[SolverBackend] = None,
         workers: Optional[int] = None,
+        worker_pool=None,
     ):
-        self._init_common(config, workers, solver)
+        self._init_common(config, workers, solver, worker_pool)
         self.language: Optional[GuestLanguage] = get_language(language)
         self.engine = self.language.create_engine(source, self.config, solver=solver)
 
-    def _init_common(self, config, workers, solver) -> None:
+    def _init_common(self, config, workers, solver, worker_pool=None) -> None:
         """State shared by every construction path; keep the alternate
         constructors delegating here so new fields appear everywhere."""
         self.config = config if config is not None else ChefConfig()
@@ -63,6 +64,7 @@ class SymbolicSession:
         self.engine = None
         self._program = None
         self._solver = solver
+        self._worker_pool = worker_pool
         self._chef: Optional[Chef] = None
         self._result: Optional[RunResult] = None
         self._streaming = False
@@ -76,15 +78,20 @@ class SymbolicSession:
         *,
         solver: Optional[SolverBackend] = None,
         workers: Optional[int] = None,
+        worker_pool=None,
     ) -> "SymbolicSession":
         """Session over a finalized LIR :class:`Program` (no guest language).
 
         Engine-facade conveniences (``replay``, ``exception_name``) are
         unavailable; ``run()``/``events()`` work exactly as for a
-        language session.
+        language session.  ``worker_pool`` optionally pins parallel
+        exploration to a caller-owned
+        :class:`~repro.parallel.pool.WorkerPool` (the caller closes it);
+        by default runs lease the process-wide shared pool, which stays
+        warm between sessions — see :meth:`close_worker_pools`.
         """
         session = cls.__new__(cls)
-        session._init_common(config, workers, solver)
+        session._init_common(config, workers, solver, worker_pool)
         session._program = program
         return session
 
@@ -123,6 +130,8 @@ class SymbolicSession:
                 self._chef = self.engine.make_chef()
             else:
                 self._chef = Chef(self._program, self.config, solver=self._solver)
+            if self._worker_pool is not None:
+                self._chef.worker_pool = self._worker_pool
         return self._chef
 
     # -- exploration ----------------------------------------------------------
@@ -178,6 +187,20 @@ class SymbolicSession:
     def started(self) -> bool:
         """True once the event stream has been claimed (by events/run)."""
         return self._streaming
+
+    @staticmethod
+    def close_worker_pools() -> None:
+        """Close the process-wide shared worker pools.
+
+        Parallel runs lease persistent worker pools that stay warm
+        between sessions (that reuse is the point — spawn once, run
+        many).  They are closed automatically at interpreter exit; call
+        this to reclaim the processes earlier.  Caller-owned pools
+        passed via ``worker_pool=`` are not touched.
+        """
+        from repro.parallel.pool import close_shared_pools
+
+        close_shared_pools()
 
     # -- observability ---------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""Machine-readable perf trajectory: ``BENCH_pr6.json`` at the repo root.
+"""Machine-readable perf trajectory: ``BENCH_pr7.json`` at the repo root.
 
 Benchmarks call :func:`update_bench_json` with a section name and a
 payload; the file accumulates sections across benchmark runs
@@ -15,7 +15,10 @@ reports ``wall_time_s`` per worker count and labels each ratio —
 sub-1× is ``"overhead-bound"``, not a "0.12× speedup": on hosts whose
 cores can't actually run the workers concurrently, the measurement is
 IPC + snapshot-codec overhead, and calling it a speedup misled every
-reader of the pr4-era files.
+reader of the pr4-era files.  :func:`phase_totals` turns the span
+histograms of a traced run into a per-phase time breakdown (ship /
+merge / classify / worker compute), so the bench file says *where* a
+wall-clock number went, not just what it was.
 
 Set ``REPRO_BENCH_JSON`` to redirect the output — scaled-down smoke
 runs (CI, tight local budgets) should point it somewhere scratch so
@@ -31,14 +34,14 @@ import subprocess
 import time
 from typing import Dict, Optional
 
-SCHEMA = "repro-bench/pr6"
+SCHEMA = "repro-bench/pr7"
 
 #: Repo root (this file lives at src/repro/bench/perfjson.py).
 _REPO_ROOT = os.path.abspath(
     os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, os.pardir)
 )
 
-DEFAULT_PATH = os.path.join(_REPO_ROOT, "BENCH_pr6.json")
+DEFAULT_PATH = os.path.join(_REPO_ROOT, "BENCH_pr7.json")
 
 
 def run_metadata() -> Dict:
@@ -92,6 +95,27 @@ def speedup_summary(serial_wall_s: float, parallel_wall_s: Dict[int, float]) -> 
     }
 
 
+def phase_totals(metrics: Dict) -> Dict:
+    """Per-phase time breakdown from a merged metrics snapshot.
+
+    Span histograms land in the registry as ``span.<name>`` dicts with
+    ``count``/``sum``; this flattens them to ``{name: {count,
+    total_s}}`` so the bench JSON can report where the wall-clock of a
+    traced run actually went (snapshot shipping vs merge vs
+    classification vs in-worker compute).  Pass the coordinator-side
+    snapshot and the merged worker snapshot separately — their lanes
+    overlap in time, so their totals must not be added together.
+    """
+    out: Dict = {}
+    for name, value in metrics.items():
+        if name.startswith("span.") and isinstance(value, dict):
+            out[name[len("span."):]] = {
+                "count": value.get("count", 0),
+                "total_s": round(value.get("sum", 0.0), 4),
+            }
+    return out
+
+
 def update_bench_json(section: str, payload: Dict, path: Optional[str] = None) -> str:
     """Merge ``payload`` under ``section`` in the bench JSON; returns path.
 
@@ -122,6 +146,7 @@ def update_bench_json(section: str, payload: Dict, path: Optional[str] = None) -
 __all__ = [
     "DEFAULT_PATH",
     "SCHEMA",
+    "phase_totals",
     "run_metadata",
     "speedup_summary",
     "update_bench_json",

@@ -105,8 +105,13 @@ class Chef:
         config: Optional[ChefConfig] = None,
         solver: Optional[SolverBackend] = None,
         telemetry: Optional[Telemetry] = None,
+        worker_pool=None,
     ):
         self.config = config if config is not None else ChefConfig()
+        #: optional externally-owned :class:`~repro.parallel.pool.WorkerPool`
+        #: for parallel mode; by default the process-wide shared pool is
+        #: leased per run (and kept warm between runs).
+        self.worker_pool = worker_pool
         #: the engine-wide observability context, threaded through the
         #: solver, the low-level engine and (in parallel mode) the
         #: worker pool.  ``config.trace`` turns the span tracer on.
@@ -300,17 +305,19 @@ class Chef:
     # -- parallel mode ---------------------------------------------------------
 
     def _stream_parallel(self) -> Iterator[SessionEvent]:
-        """Shard the pending-state frontier across worker processes.
+        """Shard the pending-state frontier across pool worker processes.
 
         Workers run low-level paths and stream back (a) terminated-path
-        records carrying their HLPC traces and (b) snapshots of new
-        pending states.  The coordinator replays traces through the
-        high-level tree/CFG (the same transitions the serial loop feeds
-        incrementally), generates test cases, classifies pending
-        snapshots for the CUPA/strategy layer, and merges model-cache
-        deltas across the pool — all through the coordinator's
-        ``on_merge`` hook, which fires per chunk in deterministic chunk
-        order (each merge also emits a :class:`BatchMerged` event).
+        records carrying their since-restore HLPC *suffixes* and (b)
+        snapshots of new pending states.  The coordinator grafts the
+        suffixes onto the high-level tree/CFG (the same transitions the
+        serial loop feeds incrementally — each transition arrives in
+        exactly one suffix), generates test cases, classifies pending
+        snapshots for the CUPA/strategy layer in O(suffix) per state,
+        and merges model-cache deltas across the pool — all through the
+        coordinator's ``on_merge`` hook, which fires per chunk in
+        deterministic chunk order (each merge also emits a
+        :class:`BatchMerged` event).
         Exploration *order* differs from serial (batching), so
         time-budgeted runs may cover different prefixes; exhaustive
         runs produce the identical path set, hence the identical
@@ -338,6 +345,7 @@ class Chef:
             batch_size=config.worker_batch,
             trace_hlpc=True,
             telemetry=self.telemetry,
+            pool=self.worker_pool,
         )
         explorer.on_merge = lambda chunk_index, result: self._merge_chunk(
             explorer.batches, chunk_index, result
@@ -394,8 +402,9 @@ class Chef:
         """
         for record in result.records:
             self._ingest_record(record)
-        for snap in result.pending:
-            self.strategy.add(self._pending_handle(snap, round_no, chunk_index))
+        with self.telemetry.span("chef.classify", states=len(result.pending)):
+            for snap in result.pending:
+                self.strategy.add(self._pending_handle(snap, round_no, chunk_index))
         self._event_buffer.append(
             BatchMerged(
                 round_no=round_no,
@@ -406,22 +415,30 @@ class Chef:
         )
 
     def _ingest_record(self, record) -> None:
-        """Parallel-mode twin of :meth:`_on_path_end`, fed by replay.
+        """Parallel-mode twin of :meth:`_on_path_end`, fed by suffix replay.
 
-        The trace replay mirrors what :meth:`_on_log_pc` does live in
-        serial mode — CFG edges *and* dynamic-tree unfolding — so the
-        high-level structures end up identical; only then does the
-        serial status filter decide whether the path yields a test case.
+        The replay mirrors what :meth:`_on_log_pc` does live in serial
+        mode — CFG edges *and* dynamic-tree unfolding — but only over
+        the record's since-restore suffix, grafted at ``start_node``:
+        the prefix transitions were already ingested when the state that
+        executed them terminated (every executed transition belongs to
+        exactly one record's suffix, because forked children never
+        re-execute their inherited prefix).  The path signature arrives
+        precomputed (workers extend it with the serial recurrence), so
+        the high-level structures and test suite end up identical; only
+        then does the serial status filter decide whether the path
+        yields a test case.
         """
-        prev: Optional[int] = None
-        prev_op: Optional[int] = None
-        node = HighLevelTree.ROOT
-        signature = 0
-        for pc, opcode in record.hl_trace:
+        prev = record.start_hlpc
+        prev_op = record.start_opcode
+        node = record.start_node
+        for pc, opcode in record.hl_suffix:
             self.cfg.observe(prev, prev_op, pc, opcode)
             node = self.tree.advance(node, pc)
-            signature = HighLevelTree.extend_signature(signature, pc)
             prev, prev_op = pc, opcode
+        self.telemetry.registry.counter("coordinator.ingest_steps").inc(
+            len(record.hl_suffix)
+        )
         self._emit_test_case(
             status=record.status,
             inputs={name: list(values) for name, values in record.inputs},
@@ -429,28 +446,41 @@ class Chef:
             output=list(record.output),
             hl_instr_count=record.hl_instr_count,
             ll_instr_count=record.instr_count,
-            signature=signature,
+            signature=record.hl_sig,
             path_constraints=record.path_constraints,
         )
 
     def _pending_handle(self, snap, round_no: int, chunk_index: int) -> "_PendingHandle":
         """Classify a pending snapshot for the strategy layer.
 
-        Replays the snapshot's HLPC trace through the coordinator's
-        high-level tree to recover the dynamic-HLPC / static-HLPC meta
-        the CUPA classifiers read; fork groups are remapped with the
-        (round, chunk) origin because worker-local parent sids collide
-        across processes.
+        Grafts the snapshot's since-restore HLPC suffix onto the
+        coordinator's high-level tree starting at the anchor node the
+        snapshot was restored under (``meta["tree_node"]``, ROOT for
+        boot descendants) — O(suffix length), not O(path depth).  The
+        resulting node is stamped back into the snapshot meta as the
+        anchor for the *next* hop, and the consumed suffix is dropped,
+        so a ship → run → classify cycle never re-walks old transitions.
+        ``coordinator.classify_steps`` counts the advances actually
+        taken; ``coordinator.classify_full_trace`` counts what a
+        full-trace replay would have cost (the state's whole high-level
+        instruction count) — the regression gate asserts their ratio.
+        Fork groups are remapped with the (round, chunk) origin because
+        worker-local parent sids collide across processes.
         """
         meta = dict(snap.meta)
-        trace = meta.get("hl_trace") or ()
-        node = HighLevelTree.ROOT
-        for pc, _opcode in trace:
+        suffix = meta.pop("hl_suffix", None) or ()
+        node = meta.get("tree_node", HighLevelTree.ROOT)
+        for pc, _opcode in suffix:
             node = self.tree.advance(node, pc)
         meta["dyn_node"] = node
-        if trace:
-            meta["static_hlpc"] = trace[-1][0]
-            meta["hl_opcode"] = trace[-1][1]
+        registry = self.telemetry.registry
+        registry.counter("coordinator.classify_states").inc()
+        registry.counter("coordinator.classify_steps").inc(len(suffix))
+        registry.counter("coordinator.classify_full_trace").inc(snap.hl_instr_count)
+        # Anchor the snapshot for its next restore: the worker will
+        # start a fresh suffix from exactly this tree node.
+        snap.meta.pop("hl_suffix", None)
+        snap.meta["tree_node"] = node
         fork_group = snap.fork_group
         if fork_group is not None:
             fork_group = (round_no, chunk_index) + tuple(fork_group)

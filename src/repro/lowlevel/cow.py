@@ -181,15 +181,20 @@ class CowMap:
 
         ``base`` is stored by reference as a frozen ancestor layer (the
         caller promises not to mutate it — program static data qualifies);
-        the delta becomes the private top layer.
+        the delta becomes the private top layer.  The base is kept even
+        when it is currently empty: :meth:`delta_against`'s fast path
+        matches the layer *by identity*, and dropping an empty base here
+        would push every forked descendant of this map onto the full
+        re-flatten path (and re-scan the shared image on every snapshot
+        once the program's static data is non-trivial).
         """
         restored = cls.__new__(cls)
-        restored._layers = [base] if base else []
+        restored._layers = [base] if base is not None else []
         restored._top = dict(changed)
         for key in deleted:
             restored._top[key] = _TOMBSTONE
         restored._size = None
-        restored._base = base if base else None
+        restored._base = base if base is not None else None
         return restored
 
     def __repr__(self) -> str:

@@ -518,6 +518,26 @@ def rebuild_values(instrs):
     return vals
 
 
+def rebuild_values_cached(instrs, cache: Optional[dict]):
+    """Batch re-intern entry point: :func:`rebuild_values` memoized.
+
+    The parallel snapshot codec encodes a whole chunk of states against
+    one shared instruction table; every state in the chunk then restores
+    against the *same* ``instrs`` tuple.  ``cache`` (keyed by
+    ``id(instrs)``) makes the table rebuild once per chunk instead of
+    once per state.  The caller owns the cache's lifetime and must keep
+    the instruction tuples alive while it is in use (ids are only stable
+    while the object is); pass ``None`` to bypass caching.
+    """
+    if cache is None:
+        return rebuild_values(instrs)
+    key = id(instrs)
+    vals = cache.get(key)
+    if vals is None:
+        vals = cache[key] = rebuild_values(instrs)
+    return vals
+
+
 def _rebuild_graph(instrs, ref):
     """Unpickle target for a single flattened value."""
     return rebuild_values(instrs)[ref]

@@ -1,15 +1,25 @@
 """Coordinator half of parallel exploration.
 
-:class:`ParallelExplorer` owns a pool of worker processes and a master
-:class:`ModelCache`.  Each round it pops a batch from the frontier,
-splits it into per-worker chunks (round-robin, deterministic), ships
-each chunk with the model-cache delta accumulated since the last
-broadcast, and merges the results **in chunk order** — so the merged
-record stream, the frontier contents and the master cache are a
-deterministic function of the frontier sequence, independent of worker
-scheduling.  Worker-discovered cache entries are folded into the master
-cache and re-broadcast to the whole pool with the next batch, which is
-what carries subset-UNSAT/superset-SAT reuse across process boundaries.
+:class:`ParallelExplorer` drives a persistent :class:`WorkerPool`
+(acquired from the process-wide shared registry, or passed in by a
+bench harness) and a master :class:`ModelCache`.  Each round it pops a
+batch from the frontier, splits it into **more chunks than workers**
+(``steal_factor``) feeding one shared task queue — workers steal the
+next chunk as they drain their current one, so a single deep path no
+longer serializes the round — and merges the results **in chunk
+order**: the merged record stream, the frontier contents and the master
+cache are a deterministic function of the frontier sequence,
+independent of which worker ran which chunk.  Worker-discovered cache
+entries are folded into the master cache and re-broadcast inside the
+next round's chunk tasks, which is what carries subset-UNSAT /
+superset-SAT reuse across process boundaries.
+
+The pool outlives the explorer: ``start()`` leases and *configures* it
+(a small spec broadcast; the Program image ships only the first time
+the pool sees its content hash) and ``close()`` releases the lease with
+the workers kept warm for the next run.  A crashed worker fails the
+round fast with :class:`~repro.parallel.pool.WorkerCrashError` and the
+broken pool is replaced on the next acquisition.
 
 Observability: the explorer takes the engine's
 :class:`~repro.obs.telemetry.Telemetry` context and records its
@@ -18,10 +28,10 @@ ship/merge spans on a ``coordinator`` lane of the same event log; each
 snapshot and its trace-event slice, so the Chrome-trace export shows
 one swimlane per worker process next to the coordinator's.  Metric
 aggregation keeps only the *latest* snapshot per worker pid (snapshots
-are cumulative) and merges them on demand — there is no bespoke
-counter-dict summing left; the legacy ``engine_stats`` /
-``solver_stats`` / ``cache_stats`` dicts are prefix-split views of the
-one merged snapshot.
+are cumulative, and the shared FIFO task queue means one pid's chunk
+results arrive in chronological order) and merges them on demand; the
+legacy ``engine_stats`` / ``solver_stats`` / ``cache_stats`` dicts are
+prefix-split views of the one merged snapshot.
 
 For exhaustive runs the set of explored paths is identical to a serial
 run: feasibility verdicts do not depend on cache content, only the
@@ -29,16 +39,15 @@ order of discovery does.  One caveat on *witness inputs*: when a branch
 atom admits several models and the parent's inherited model does not
 already satisfy it, the concrete model a state ends up with can come
 from a component-cache hit — and worker-local cache contents depend on
-which chunks the OS happened to hand that worker process.  The path
-*structure* (`path_key`, status) is always scheduling-independent;
-input-level identity additionally holds when suffix atoms are either
-satisfied by inherited models or uniquely determined (as in the CI
-workloads, which assert full `PathRecord.identity()` equality).
+which chunks a worker process happened to steal.  The path *structure*
+(`path_key`, status) is always scheduling-independent; input-level
+identity additionally holds when suffix atoms are either satisfied by
+inherited models or uniquely determined (as in the CI workloads, which
+assert full `PathRecord.identity()` equality).
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
@@ -47,8 +56,9 @@ from repro.lowlevel.executor import ExecutorConfig
 from repro.lowlevel.program import Program
 from repro.obs.metrics import merge_snapshots, split_prefixed
 from repro.obs.telemetry import Telemetry
+from repro.parallel.pool import WorkerPool, acquire_pool, release_pool
 from repro.parallel.snapshot import StateSnapshot, boot_snapshot
-from repro.parallel.worker import WorkerResult, init_worker, run_batch
+from repro.parallel.worker import WorkerResult
 from repro.solver.cache import ModelCache
 from repro.solver.constraints import ConstraintSet
 from repro.solver.csp import DEFAULT_BUDGET
@@ -102,6 +112,14 @@ class PathRecord:
     the terminal status and the observable output.  ``path_key`` is the
     stable structural fingerprint sequence of the path condition —
     process-independent within one run (workers share a namespace).
+
+    The high-level trace travels as a **suffix**: ``hl_suffix`` covers
+    only the transitions executed since the state was last restored
+    from a snapshot, anchored at coordinator tree node ``start_node``
+    (with ``start_hlpc``/``start_opcode`` the location just before the
+    suffix, for the first CFG edge).  ``hl_sig`` is the whole-path
+    signature, maintained incrementally worker-side — identical to the
+    serial engine's.
     """
 
     status: str
@@ -114,7 +132,11 @@ class PathRecord:
     hl_instr_count: int
     depth: int
     path_key: Tuple[int, ...]
-    hl_trace: Tuple[Tuple[int, int], ...] = ()
+    start_node: int = 0
+    start_hlpc: Optional[int] = None
+    start_opcode: Optional[int] = None
+    hl_suffix: Tuple[Tuple[int, int], ...] = ()
+    hl_sig: int = 0
     path_constraints: Optional[ConstraintSet] = None
 
     def identity(self) -> Tuple:
@@ -149,7 +171,7 @@ class ExploreResult:
 
 
 class ParallelExplorer:
-    """Shards frontier exploration across ``workers`` processes."""
+    """Shards frontier exploration across a persistent worker pool."""
 
     def __init__(
         self,
@@ -161,9 +183,15 @@ class ParallelExplorer:
         batch_size: int = 8,
         trace_hlpc: bool = False,
         telemetry: Optional[Telemetry] = None,
+        pool: Optional[WorkerPool] = None,
+        steal_factor: int = 4,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if pool is not None and pool.workers != workers:
+            raise ValueError(
+                f"pool has {pool.workers} workers, explorer wants {workers}"
+            )
         if not program.finalized:
             program.finalize()
         self.program = program
@@ -176,6 +204,10 @@ class ParallelExplorer:
             namespace = fresh_namespace("p")
         self.namespace = namespace
         self.batch_size = batch_size
+        #: rounds are split into ``workers * steal_factor`` chunks so a
+        #: worker that drains its chunk steals the next from the shared
+        #: queue instead of idling behind one deep path.
+        self.steal_factor = max(1, steal_factor)
         self.trace_hlpc = trace_hlpc
         if telemetry is None:
             telemetry = Telemetry()
@@ -185,7 +217,7 @@ class ParallelExplorer:
         self.telemetry = telemetry
         self._tele = telemetry.child("coordinator")
         #: master model cache; worker deltas are folded here and
-        #: re-broadcast with the next batch.  It keeps a *private*
+        #: re-broadcast with the next round.  It keeps a *private*
         #: registry: its counters describe coordinator-side folding and
         #: would double-count reuse against the merged worker ``cache.*``
         #: totals if they shared a registry.
@@ -193,10 +225,15 @@ class ParallelExplorer:
         #: per-worker-pid journal high-water marks: the master-cache mark
         #: each worker is known to have merged up to.  Broadcasts cover
         #: the delta since the *lowest* mark (0 until every worker has
-        #: reported once), so a worker that sat out a round still catches
-        #: up later; receivers dedup re-shipped entries by fingerprint.
+        #: reported once), so a worker that stole nothing all round still
+        #: catches up later; receivers dedup re-shipped entries by
+        #: fingerprint.
         self._pid_marks: Dict[int, int] = {}
-        self._pool = None
+        #: externally-owned pool (bench harness); never closed/released here.
+        self._external_pool = pool
+        self._pool: Optional[WorkerPool] = None
+        self._pool_transient = False
+        self._run_id: Optional[int] = None
         self._latest_by_pid: Dict[int, _WorkerSlice] = {}
         self.batches = 0
         #: optional merge hook ``(chunk_index, WorkerResult) -> None``,
@@ -210,36 +247,40 @@ class ParallelExplorer:
     # -- pool lifecycle -------------------------------------------------------
 
     def start(self) -> "ParallelExplorer":
-        if self._pool is not None:
+        """Lease a warm pool (or the caller's) and configure it for this run."""
+        if self._run_id is not None:
             return self
-        # A fresh pool means fresh worker processes: drop the dead pool's
-        # cumulative per-pid counters (aggregation would double-count
-        # them) and its broadcast marks (new workers know nothing yet;
-        # pids can even be recycled by the OS).
+        # A new configuration means freshly-reset worker engines: drop
+        # any previous run's cumulative per-pid counters (aggregation
+        # would double-count them) and broadcast marks (reconfigured
+        # workers hold nothing; pids can even be recycled).
         self._latest_by_pid.clear()
         self._pid_marks.clear()
         self.batches = 0
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-        self._pool = ctx.Pool(
-            self.workers,
-            initializer=init_worker,
-            initargs=(
-                self.program,
-                self.exec_config,
-                self.namespace,
-                self.solver_budget,
-                self.trace_hlpc,
-                self.telemetry.enabled,
-            ),
+        if self._external_pool is not None:
+            self._pool, self._pool_transient = self._external_pool, False
+        else:
+            self._pool, self._pool_transient = acquire_pool(self.workers)
+        self._run_id = self._pool.configure(
+            self.program,
+            self.exec_config,
+            self.namespace,
+            self.solver_budget,
+            trace_hlpc=self.trace_hlpc,
+            trace=self.telemetry.enabled,
         )
+        registry = self.telemetry.registry
+        registry.gauge("parallel.pool_spawns").set(self._pool.spawns)
+        registry.gauge("parallel.program_ships").set(self._pool.program_ships)
         return self
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
+        """Release the pool lease (workers stay warm for the next run)."""
+        pool, self._pool = self._pool, None
+        self._run_id = None
+        if pool is None or pool is self._external_pool:
+            return
+        release_pool(pool, self._pool_transient)
 
     def __enter__(self) -> "ParallelExplorer":
         return self.start()
@@ -250,18 +291,25 @@ class ParallelExplorer:
     # -- batched execution ----------------------------------------------------
 
     def submit(self, snapshots: List[StateSnapshot]) -> List[WorkerResult]:
-        """Run one batch across the pool; deterministic merge order.
+        """Run one round across the pool; deterministic merge order.
 
-        Chunks are dealt round-robin; results come back in chunk order
+        The batch splits into contiguous chunks fed through the shared
+        task queue (work stealing); results come back in chunk order
         regardless of which worker ran which chunk, and worker cache
         deltas are folded into the master cache in that same order.
         """
-        if self._pool is None:
+        if self._run_id is None:
             raise RuntimeError("ParallelExplorer pool is not started")
         if not snapshots:
             return []
-        chunk_count = min(self.workers, len(snapshots))
-        chunks = [snapshots[i::chunk_count] for i in range(chunk_count)]
+        chunk_count = min(len(snapshots), self.workers * self.steal_factor)
+        base, extra = divmod(len(snapshots), chunk_count)
+        chunks = []
+        start = 0
+        for index in range(chunk_count):
+            size = base + (1 if index < extra else 0)
+            chunks.append(snapshots[start : start + size])
+            start += size
         if len(self._pid_marks) >= self.workers:
             base_mark = min(self._pid_marks.values())
         else:
@@ -275,9 +323,7 @@ class ParallelExplorer:
             chunks=len(chunks),
             delta=len(delta),
         ):
-            results = self._pool.map(
-                run_batch, [(chunk, delta) for chunk in chunks], chunksize=1
-            )
+            results = self._pool.run_round(self._run_id, self.batches, chunks, delta)
         for chunk_index, result in enumerate(results):
             with self._tele.span(
                 "parallel.merge",
@@ -307,11 +353,11 @@ class ParallelExplorer:
         """Explore from boot until the frontier drains or ``max_states``.
 
         ``max_states`` bounds activated (sat) states, checked between
-        batches — a batch may overshoot by at most one round.
+        rounds — a round may overshoot by at most one batch.
         """
         start_time = time.monotonic()
-        own_pool = self._pool is None
-        if own_pool:
+        own_session = self._run_id is None
+        if own_session:
             self.start()
         frontier: List[StateSnapshot] = [boot_snapshot(self.program)]
         records: List[PathRecord] = []
@@ -329,7 +375,7 @@ class ParallelExplorer:
                     frontier.extend(result.pending)
                     states_run += sum(1 for v in result.verdicts if v == "sat")
         finally:
-            if own_pool:
+            if own_session:
                 self.close()
         merged = self.merged_metrics()
         return ExploreResult(

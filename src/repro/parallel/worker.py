@@ -1,49 +1,81 @@
 """Worker-process half of parallel exploration.
 
-Each worker owns a private :class:`LowLevelEngine` (same program, same
-symbolic-variable namespace as the coordinator, an isolated
-:class:`ModelCache`) and one :class:`~repro.obs.telemetry.Telemetry`
-context whose lane is ``worker-<pid>`` — every counter the engine,
-solver and cache increment lands in that one registry.  Per task it
-first folds the coordinator's model-cache delta into its cache, then
-activates and runs every state in the batch, and returns
-terminated-path records, snapshots of the new pending alternates, a
-cumulative snapshot of its metrics registry, the trace events recorded
-during the batch (worker swimlanes in the Chrome trace), and the cache
-entries it discovered since the merge (for the coordinator to fold and
-re-broadcast).
+Each pool worker is a persistent process (see
+:mod:`repro.parallel.pool`) driven by a small message loop
+(:func:`_pool_worker_main`): ``configure`` messages rebuild the
+per-process engine for a new run, chunk tasks from the shared
+work-stealing queue execute batches of snapshots.  A configured worker
+owns a private :class:`LowLevelEngine` (same program image — cached by
+content digest across configures — same symbolic-variable namespace as
+the coordinator, an isolated :class:`ModelCache`) and one
+:class:`~repro.obs.telemetry.Telemetry` context whose lane is
+``worker-<pid>``.
 
-Metrics snapshots are cumulative per worker process; the coordinator
-keeps the latest snapshot per pid and merges at the end, so batch
-boundaries do not double-count.
+Per chunk it folds the coordinator's model-cache delta into its cache
+(once per round — rounds re-ship the delta in every chunk so no
+cross-queue ordering is needed, and the copies are skipped), activates
+and runs every state in the chunk, and returns terminated-path records,
+batch-encoded snapshots of the new pending alternates, a cumulative
+snapshot of its metrics registry, the trace events recorded during the
+chunk, and the cache entries it discovered since the merge.
+
+With high-level tracing on, states carry only the **suffix** of their
+(hlpc, opcode) stream since they were last restored (plus the running
+path signature); the coordinator grafts suffixes onto its tree instead
+of replaying whole traces — see :mod:`repro.parallel.snapshot`.
+
+Metrics snapshots are cumulative per worker process *per configure*;
+the coordinator keeps the latest snapshot per pid and merges at the
+end, so chunk boundaries do not double-count.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
+import queue as _queue
+import traceback
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.lowlevel.executor import ExecutorConfig, LowLevelEngine
+from repro.lowlevel.executor import LowLevelEngine
 from repro.lowlevel.program import Program
 from repro.obs.telemetry import Telemetry
-from repro.parallel.snapshot import StateSnapshot, path_record_of, restore_state, snapshot_state
+from repro.parallel.snapshot import (
+    SnapshotDecoder,
+    StateSnapshot,
+    path_record_of,
+    restore_state,
+    snapshot_states,
+)
 from repro.solver.cache import ModelCache
 from repro.solver.csp import CspSolver
 
 _ENGINE: Optional[LowLevelEngine] = None
 
-#: Cumulative count of snapshots this worker has restored.  Restoring
-#: consumes a fresh sid for a state that was already counted (as a fork,
-#: or as the boot state) wherever it was created, so it is subtracted
-#: from the reported states_created to keep the coordinator's total
-#: comparable to a serial run.
+#: Cumulative count of snapshots this worker has restored since the last
+#: configure.  Restoring consumes a fresh sid for a state that was
+#: already counted (as a fork, or as the boot state) wherever it was
+#: created, so it is subtracted from the reported states_created to keep
+#: the coordinator's total comparable to a serial run.
 _RESTORED = 0
+
+#: run_id this worker is configured for; tasks tagged otherwise are
+#: stale (from an abandoned round on a reused pool) and are dropped.
+_RUN_ID: Optional[int] = None
+
+#: last round whose cache delta was merged (every chunk of a round
+#: carries the same delta; merge once, skip the copies).
+_ROUND_MERGED = -1
+
+#: program images resident in this process, keyed by content digest —
+#: what makes the Program ship once per pool instead of once per run.
+_PROGRAM_CACHE: Dict[str, Program] = {}
 
 
 @dataclass
 class WorkerResult:
-    """Everything one worker returns for one batch."""
+    """Everything one worker returns for one chunk."""
 
     pid: int
     records: List = field(default_factory=list)
@@ -53,92 +85,127 @@ class WorkerResult:
     #: cumulative metrics-registry snapshot for this worker process
     #: (``engine.*`` / ``solver.*`` / ``cache.*`` names — one registry).
     metrics: Dict = field(default_factory=dict)
-    #: span events recorded during this batch (worker-lane trace slice).
+    #: span events recorded during this chunk (worker-lane trace slice).
     trace_events: List = field(default_factory=list)
-    #: portable cache entries discovered during this batch.
+    #: portable cache entries discovered during this chunk.
     cache_delta: List = field(default_factory=list)
     #: states this worker has *created* (forks), excluding snapshots it
     #: merely restored — those are counted where they were first created.
     states_created: int = 0
 
 
-def init_worker(
-    program: Program,
-    exec_config: ExecutorConfig,
-    namespace: str,
-    solver_budget: int,
-    trace_hlpc: bool = False,
-    trace: bool = False,
-) -> None:
-    """Pool initializer: build this process's engine once."""
-    global _ENGINE
-    telemetry = Telemetry(enabled=trace, lane=f"worker-{os.getpid()}")
+def configure_worker(spec: Dict) -> None:
+    """Rebuild this process's engine for a new run.
+
+    Resets the expression intern tables and symbolic-variable registry
+    (a persistent worker must behave exactly like a fresh process —
+    leaked interning across runs would corrupt structural identity) and
+    builds a fresh engine/solver/cache/telemetry stack.  The program
+    comes from the digest cache; a ``program_blob`` in the spec
+    populates it first.
+    """
+    global _ENGINE, _RESTORED, _RUN_ID, _ROUND_MERGED
+    from repro.lowlevel.expr import Sym, clear_intern_cache
+
+    clear_intern_cache()
+    Sym.reset_registry()
+    digest = spec["program_digest"]
+    blob = spec["program_blob"]
+    if blob is not None:
+        _PROGRAM_CACHE[digest] = pickle.loads(blob)
+    program = _PROGRAM_CACHE[digest]
+    telemetry = Telemetry(enabled=spec["trace"], lane=f"worker-{os.getpid()}")
     engine = LowLevelEngine(
         program,
         solver=CspSolver(
-            budget=solver_budget,
+            budget=spec["solver_budget"],
             cache=ModelCache(registry=telemetry.registry),
             telemetry=telemetry,
         ),
-        config=exec_config,
+        config=spec["exec_config"],
         telemetry=telemetry,
     )
     # All workers and the coordinator must agree on symbolic variable
     # names; override the per-process engine counter namespace.
-    engine.namespace = namespace
-    if trace_hlpc:
+    engine.namespace = spec["namespace"]
+    if spec["trace_hlpc"]:
         _attach_hlpc_tracing(engine)
     _ENGINE = engine
+    _RESTORED = 0
+    _RUN_ID = spec["run_id"]
+    _ROUND_MERGED = -1
 
 
 def _attach_hlpc_tracing(engine: LowLevelEngine) -> None:
-    """Record the (hlpc, opcode) stream per state for coordinator replay."""
+    """Maintain the since-restore HLPC suffix and path signature per state.
+
+    Mirrors the coordinator's serial ``_on_log_pc`` for the pieces that
+    must travel: ``hl_suffix`` is the (hlpc, opcode) stream since this
+    state was last restored (the coordinator grafts it onto its tree),
+    ``static_hlpc``/``hl_opcode`` track the current location for the
+    CUPA classifiers, and ``hl_sig`` is the running whole-path signature
+    (extended identically to serial mode, so high-level path identity is
+    exact without ever shipping the full trace).
+    """
+    from repro.chef.hltree import HighLevelTree
+
+    extend_signature = HighLevelTree.extend_signature
 
     def on_log_pc(state, pc: int, opcode: int) -> None:
-        trace = state.meta.get("hl_trace")
-        if trace is None:
-            trace = state.meta["hl_trace"] = []
-        trace.append((pc, opcode))
+        meta = state.meta
+        suffix = meta.get("hl_suffix")
+        if suffix is None:
+            suffix = meta["hl_suffix"] = []
+        suffix.append((pc, opcode))
+        meta["static_hlpc"] = pc
+        meta["hl_opcode"] = opcode
+        meta["hl_sig"] = extend_signature(meta.get("hl_sig", 0), pc)
 
     def on_fork(parent, child) -> None:
         child.meta = dict(parent.meta)
-        trace = child.meta.get("hl_trace")
-        if trace is not None:
-            child.meta["hl_trace"] = list(trace)
+        suffix = child.meta.get("hl_suffix")
+        if suffix is not None:
+            child.meta["hl_suffix"] = list(suffix)
 
     engine.on_log_pc = on_log_pc
     engine.on_fork = on_fork
 
 
-def run_batch(task: Tuple[List[StateSnapshot], List]) -> WorkerResult:
-    """Run one batch of snapshots; see module docstring for the protocol."""
-    global _RESTORED
-    snapshots, delta = task
+def run_chunk(snapshots: List[StateSnapshot], delta: List, round_no: int) -> WorkerResult:
+    """Run one chunk of snapshots; see module docstring for the protocol."""
+    global _RESTORED, _ROUND_MERGED
     engine = _ENGINE
-    assert engine is not None, "worker used before init_worker ran"
+    assert engine is not None, "worker used before configure_worker ran"
     telemetry = engine.telemetry
-    _RESTORED += len(snapshots)
     cache = engine.solver.cache
-    with telemetry.span("worker.merge_delta", entries=len(delta)):
-        cache.merge(delta)
+    with telemetry.span(
+        "worker.merge_delta", entries=len(delta), skipped=round_no == _ROUND_MERGED
+    ):
+        if round_no != _ROUND_MERGED:
+            cache.merge(delta)
+            _ROUND_MERGED = round_no
     mark = cache.journal_mark()
+    _RESTORED += len(snapshots)
 
     records: List = []
-    pending: List[StateSnapshot] = []
+    children: List = []
     verdicts: List[str] = []
+    decoder = SnapshotDecoder()
     with telemetry.span("worker.batch", states=len(snapshots)):
         for snap in snapshots:
             with telemetry.span("snapshot.decode"):
-                state = restore_state(snap, engine.program, engine._fresh_sid())
+                state = restore_state(
+                    snap, engine.program, engine._fresh_sid(), decoder=decoder
+                )
             verdict = engine.activate(state)
             verdicts.append(verdict)
             if verdict != "sat":
                 continue
-            children = engine.run_path(state)
-            with telemetry.span("snapshot.encode", children=len(children)):
-                pending.extend(snapshot_state(child) for child in children)
+            children.extend(engine.run_path(state))
             if state.terminated():
                 records.append(path_record_of(state))
+    with telemetry.span("snapshot.encode", children=len(children)):
+        pending = snapshot_states(children) if children else []
 
     return WorkerResult(
         pid=os.getpid(),
@@ -150,3 +217,45 @@ def run_batch(task: Tuple[List[StateSnapshot], List]) -> WorkerResult:
         cache_delta=cache.export_delta(mark),
         states_created=engine._next_sid - _RESTORED,
     )
+
+
+def _pool_worker_main(worker_index: int, ctrl_q, task_q, result_q) -> None:
+    """Persistent worker loop: control messages first, then stolen chunks.
+
+    Control messages (configure/stop) are only ever sent between rounds,
+    so checking the private control queue before each blocking task-queue
+    poll is enough — no cross-queue ordering is assumed anywhere.
+    Exceptions during a chunk are reported as ``("error", ...)`` messages
+    (the pool converts them to :class:`WorkerCrashError`); the loop keeps
+    running so one bad chunk cannot also hang the round after it.
+    """
+    while True:
+        try:
+            msg = ctrl_q.get_nowait()
+        except _queue.Empty:
+            msg = None
+        if msg is not None:
+            if msg[0] == "stop":
+                return
+            if msg[0] == "configure":
+                spec = msg[1]
+                try:
+                    configure_worker(spec)
+                    result_q.put(("configured", spec["run_id"], worker_index, os.getpid()))
+                except Exception:
+                    result_q.put(
+                        ("error", spec["run_id"], worker_index, traceback.format_exc())
+                    )
+            continue
+        try:
+            task = task_q.get(timeout=0.05)
+        except _queue.Empty:
+            continue
+        _kind, run_id, round_no, chunk_index, snapshots, delta = task
+        if run_id != _RUN_ID:
+            continue  # stale task from an abandoned round
+        try:
+            result = run_chunk(snapshots, delta, round_no)
+            result_q.put(("result", run_id, chunk_index, result))
+        except Exception:
+            result_q.put(("error", run_id, worker_index, traceback.format_exc()))

@@ -197,6 +197,27 @@ class TestSnapshotDelta:
         assert set(deleted_c) == {2}
 
 
+class TestEmptyBaseDelta:
+    def test_empty_base_still_anchors_the_fast_path(self):
+        # Programs without static data (the Clay bench guests) restore
+        # against an *empty* base dict.  The base must still be kept by
+        # reference: dropping it pushed every forked descendant onto the
+        # full re-flatten path in delta_against.
+        base: dict = {}
+        m = CowMap.from_base_and_delta(base, {})
+        assert m._layers and m._layers[0] is base
+        m[5] = 50
+        child = m.fork()
+        child[6] = 60
+        del child[5]
+        assert child._layers[0] is base
+        changed, deleted = child.delta_against(base)
+        assert changed == {6: 60}
+        assert deleted == ()  # 5 never existed in base: no tombstone leaks
+        restored = CowMap.from_base_and_delta(base, changed, deleted)
+        assert restored.to_dict() == child.to_dict() == {6: 60}
+
+
 class TestBasePreservingCompaction:
     def test_base_layer_survives_deep_fork_lineage(self):
         base = {i: i * 10 for i in range(40)}

@@ -49,12 +49,15 @@ class SymbolicSession:
         solver: Optional[SolverBackend] = None,
         workers: Optional[int] = None,
         worker_pool=None,
+        namespace: Optional[str] = None,
     ):
-        self._init_common(config, workers, solver, worker_pool)
+        self._init_common(config, workers, solver, worker_pool, namespace)
         self.language: Optional[GuestLanguage] = get_language(language)
         self.engine = self.language.create_engine(source, self.config, solver=solver)
 
-    def _init_common(self, config, workers, solver, worker_pool=None) -> None:
+    def _init_common(
+        self, config, workers, solver, worker_pool=None, namespace=None, telemetry=None
+    ) -> None:
         """State shared by every construction path; keep the alternate
         constructors delegating here so new fields appear everywhere."""
         self.config = config if config is not None else ChefConfig()
@@ -65,6 +68,17 @@ class SymbolicSession:
         self._program = None
         self._solver = solver
         self._worker_pool = worker_pool
+        #: optional pinned symbolic-variable namespace.  The default is a
+        #: fresh process-unique prefix per engine; pinning it makes
+        #: variable names — and therefore constraint fingerprints — a
+        #: pure function of the program, which is what lets a persistent
+        #: cache store (``ChefConfig.cache_store``) hit across runs.
+        self._namespace = namespace
+        #: optional externally-owned Telemetry context for program
+        #: sessions — the service daemon hands each session a
+        #: ``session-<id>`` lane so the Chrome-trace export shows one
+        #: swimlane per tenant.
+        self._telemetry = telemetry
         self._chef: Optional[Chef] = None
         self._result: Optional[RunResult] = None
         self._streaming = False
@@ -79,6 +93,8 @@ class SymbolicSession:
         solver: Optional[SolverBackend] = None,
         workers: Optional[int] = None,
         worker_pool=None,
+        namespace: Optional[str] = None,
+        telemetry=None,
     ) -> "SymbolicSession":
         """Session over a finalized LIR :class:`Program` (no guest language).
 
@@ -89,9 +105,12 @@ class SymbolicSession:
         :class:`~repro.parallel.pool.WorkerPool` (the caller closes it);
         by default runs lease the process-wide shared pool, which stays
         warm between sessions — see :meth:`close_worker_pools`.
+        ``namespace`` pins the symbolic-variable namespace (the service
+        daemon derives one from the program digest so persistent-cache
+        fingerprints match across runs).
         """
         session = cls.__new__(cls)
-        session._init_common(config, workers, solver, worker_pool)
+        session._init_common(config, workers, solver, worker_pool, namespace, telemetry)
         session._program = program
         return session
 
@@ -129,9 +148,16 @@ class SymbolicSession:
             if self.engine is not None:
                 self._chef = self.engine.make_chef()
             else:
-                self._chef = Chef(self._program, self.config, solver=self._solver)
+                self._chef = Chef(
+                    self._program,
+                    self.config,
+                    solver=self._solver,
+                    telemetry=self._telemetry,
+                )
             if self._worker_pool is not None:
                 self._chef.worker_pool = self._worker_pool
+            if self._namespace is not None:
+                self._chef.ll.namespace = self._namespace
         return self._chef
 
     # -- exploration ----------------------------------------------------------
@@ -161,14 +187,24 @@ class SymbolicSession:
         # A raise mid-exploration (solver error, KeyboardInterrupt)
         # leaves the Chef loop half-mutated: poison the session so
         # retries get an accurate error instead of "already claimed".
+        # GeneratorExit (consumer abandoned the stream) takes the same
+        # poison path: the run is half-explored either way.
+        inner = self._chef_instance().stream()
         try:
-            for event in self._chef_instance().stream():
+            for event in inner:
                 if isinstance(event, RunFinished):
                     self._result = event.result
                 yield event
         except BaseException:
             self._failed = True
             raise
+        finally:
+            # Unwind the Chef loop *now*, not at GC time: closing the
+            # inner generator runs its finally/with blocks, so a
+            # parallel run releases its worker-pool lease and flushes
+            # its persistent cache store the moment the consumer walks
+            # away — the shared pool is immediately re-acquirable.
+            inner.close()
 
     def run(self) -> RunResult:
         """Explore to completion (blocking) and return the RunResult."""
@@ -177,6 +213,77 @@ class SymbolicSession:
                 pass
         assert self._result is not None
         return self._result
+
+    async def aevents(self, max_buffer: int = 256):
+        """Async twin of :meth:`events` for event-loop consumers.
+
+        The blocking Chef loop runs in a pump thread; events cross into
+        the loop through a bounded queue (``max_buffer`` is the
+        backpressure limit — a slow consumer stalls exploration instead
+        of buffering it unboundedly).  Exceptions from the exploration
+        re-raise at the ``async for`` site; abandoning the iterator
+        (``aclose``, task cancellation) stops the pump and closes the
+        underlying stream, so the worker-pool lease and persistent
+        store unwind exactly as in :meth:`events`.
+        """
+        import asyncio
+        import threading
+        from concurrent.futures import TimeoutError as _FutureTimeout
+
+        gen = self.events()  # claim now so double-claim raises here, not later
+        loop = asyncio.get_running_loop()
+        queue: "asyncio.Queue" = asyncio.Queue(max_buffer)
+        stop = threading.Event()
+        done = object()
+
+        def ship(item) -> bool:
+            """Put ``item`` on the loop-side queue; False once abandoned."""
+            try:
+                future = asyncio.run_coroutine_threadsafe(queue.put(item), loop)
+            except RuntimeError:  # loop already closed
+                return False
+            while True:
+                try:
+                    future.result(timeout=0.1)
+                    return True
+                except _FutureTimeout:
+                    if stop.is_set():
+                        future.cancel()
+                        return False
+                except BaseException:  # cancelled, loop torn down
+                    return False
+
+        def pump() -> None:
+            try:
+                for event in gen:
+                    if not ship(event) or stop.is_set():
+                        return
+                ship(done)
+            except BaseException as exc:
+                ship(exc)
+            finally:
+                gen.close()
+
+        thread = threading.Thread(target=pump, name="session-events", daemon=True)
+        thread.start()
+        try:
+            while True:
+                item = await queue.get()
+                if item is done:
+                    return
+                if isinstance(item, BaseException):
+                    raise item
+                yield item
+        finally:
+            stop.set()
+            # Drain so a pump blocked on the full queue observes stop.
+            while thread.is_alive():
+                while True:
+                    try:
+                        queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                await asyncio.sleep(0.01)
 
     @property
     def result(self) -> Optional[RunResult]:

@@ -252,6 +252,16 @@ class Chef:
         telemetry = self.telemetry
         self._start_time = time.monotonic()
         self.ll.config.deadline = self._start_time + config.time_budget
+        store = None
+        store_mark = 0
+        cache = getattr(self.solver, "cache", None)
+        if config.cache_store and cache is not None:
+            from repro.solver.cache import PersistentCacheStore
+
+            store = PersistentCacheStore(config.cache_store)
+            with telemetry.span("chef.cache_load", path=store.path):
+                store.load_into(cache)
+            store_mark = cache.journal_mark()
         state = self.ll.new_state()
         for child in self.ll.run_path(state):
             self.strategy.add(child)
@@ -277,6 +287,9 @@ class Chef:
                 yield MetricsUpdated(metrics=telemetry.metrics())
         if exhausted is not None:
             yield BudgetExhausted(reason=exhausted)
+        if store is not None:
+            with telemetry.span("chef.cache_flush", path=store.path):
+                store.append_from(cache, store_mark)
         duration = time.monotonic() - self._start_time
         self._timeline.append((duration, self.tree.distinct_paths(), self._ll_paths))
         yield MetricsUpdated(metrics=telemetry.metrics())
@@ -346,6 +359,7 @@ class Chef:
             trace_hlpc=True,
             telemetry=self.telemetry,
             pool=self.worker_pool,
+            cache_store=config.cache_store,
         )
         explorer.on_merge = lambda chunk_index, result: self._merge_chunk(
             explorer.batches, chunk_index, result

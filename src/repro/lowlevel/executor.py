@@ -15,6 +15,7 @@ is what makes un-neutralised hash functions explode.
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -66,7 +67,10 @@ DISCARDED_STATUSES = frozenset(
     (Status.ASSUME_FAILED, Status.INFEASIBLE, Status.SOLVER_TIMEOUT, Status.DEADLINE)
 )
 
-_ENGINE_COUNTER = 0
+#: atomic under the GIL — engines are built from concurrent session
+#: threads under the service daemon, and a read-increment-write race
+#: here would hand two engines the same namespace.
+_ENGINE_COUNTER = itertools.count(1)
 
 
 def fresh_namespace(prefix: str = "e") -> str:
@@ -76,9 +80,7 @@ def fresh_namespace(prefix: str = "e") -> str:
     domains) can coexist in one process despite the global Sym registry;
     a parallel run pins one namespace across its whole worker pool.
     """
-    global _ENGINE_COUNTER
-    _ENGINE_COUNTER += 1
-    return f"{prefix}{_ENGINE_COUNTER}:"
+    return f"{prefix}{next(_ENGINE_COUNTER)}:"
 
 
 @dataclass

@@ -14,12 +14,36 @@ entries are folded into the master cache and re-broadcast inside the
 next round's chunk tasks, which is what carries subset-UNSAT /
 superset-SAT reuse across process boundaries.
 
-The pool outlives the explorer: ``start()`` leases and *configures* it
-(a small spec broadcast; the Program image ships only the first time
-the pool sees its content hash) and ``close()`` releases the lease with
-the workers kept warm for the next run.  A crashed worker fails the
-round fast with :class:`~repro.parallel.pool.WorkerCrashError` and the
-broken pool is replaced on the next acquisition.
+The pool outlives the explorer, and since the service daemon landed the
+lease is **round-scoped**: ``start()`` acquires the pool just long
+enough to configure it (a small spec broadcast; the Program image ships
+only the first time the pool sees its content hash), and every round
+re-acquires it FIFO — so concurrent explorers in one process interleave
+rounds round-robin over one warm pool instead of spawning private
+pools.  If another session configured the pool in between, the next
+round detects it (``pool.active_run_id``) and re-broadcasts its own
+spec under its original run id: worker engines were rebuilt, so the
+explorer folds its cumulative per-worker metric slices into a base
+accumulator, drops its journal high-water marks (the full cache delta
+re-ships — sound, the entries dedup by fingerprint), and continues.  A
+crashed worker fails the round fast with
+:class:`~repro.parallel.pool.WorkerCrashError`; for registry-shared
+pools the round retries once on the replacement pool (safe: results
+merge strictly after a full round collects, so a failed round has
+merged nothing), while caller-owned pools fail through to the caller.
+
+High-water marks and metric slices are keyed by **(pool epoch, pid)**,
+never bare pid: pids are recycled by the OS, and a replacement pool
+after a :class:`WorkerCrashError` can reuse a dead worker's pid — a
+bare-pid journal mark would then claim the new worker already holds
+entries it has never seen and silently skip deltas.
+
+With ``cache_store`` set, the master cache is seeded from a
+:class:`~repro.solver.cache.PersistentCacheStore` on ``start()`` (the
+loaded entries ride the normal delta broadcasts to the workers, tagged
+so hits count as ``cache.cross_run_hits``) and newly discovered entries
+are appended back on ``close()`` — subset-UNSAT/superset-SAT reuse then
+carries across runs and across tenants hitting similar targets.
 
 Observability: the explorer takes the engine's
 :class:`~repro.obs.telemetry.Telemetry` context and records its
@@ -56,10 +80,15 @@ from repro.lowlevel.executor import ExecutorConfig
 from repro.lowlevel.program import Program
 from repro.obs.metrics import merge_snapshots, split_prefixed
 from repro.obs.telemetry import Telemetry
-from repro.parallel.pool import WorkerPool, acquire_pool, release_pool
+from repro.parallel.pool import (
+    WorkerCrashError,
+    WorkerPool,
+    acquire_pool,
+    release_pool,
+)
 from repro.parallel.snapshot import StateSnapshot, boot_snapshot
 from repro.parallel.worker import WorkerResult
-from repro.solver.cache import ModelCache
+from repro.solver.cache import ModelCache, PersistentCacheStore
 from repro.solver.constraints import ConstraintSet
 from repro.solver.csp import DEFAULT_BUDGET
 
@@ -185,6 +214,7 @@ class ParallelExplorer:
         telemetry: Optional[Telemetry] = None,
         pool: Optional[WorkerPool] = None,
         steal_factor: int = 4,
+        cache_store: Optional[str] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -222,19 +252,34 @@ class ParallelExplorer:
         #: would double-count reuse against the merged worker ``cache.*``
         #: totals if they shared a registry.
         self.master_cache = ModelCache()
-        #: per-worker-pid journal high-water marks: the master-cache mark
-        #: each worker is known to have merged up to.  Broadcasts cover
-        #: the delta since the *lowest* mark (0 until every worker has
-        #: reported once), so a worker that stole nothing all round still
-        #: catches up later; receivers dedup re-shipped entries by
-        #: fingerprint.
-        self._pid_marks: Dict[int, int] = {}
-        #: externally-owned pool (bench harness); never closed/released here.
+        #: per-worker journal high-water marks, keyed **(pool epoch,
+        #: pid)**: the master-cache mark each worker is known to have
+        #: merged up to.  Broadcasts cover the delta since the *lowest*
+        #: current-epoch mark (0 until every worker has reported once),
+        #: so a worker that stole nothing all round still catches up
+        #: later; receivers dedup re-shipped entries by fingerprint.
+        #: The epoch key is what stops a replacement pool's recycled
+        #: pids from inheriting a dead worker's mark and skipping deltas.
+        self._pid_marks: Dict[Tuple[int, int], int] = {}
+        #: externally-owned pool (bench harness); never closed/replaced here.
         self._external_pool = pool
-        self._pool: Optional[WorkerPool] = None
-        self._pool_transient = False
         self._run_id: Optional[int] = None
-        self._latest_by_pid: Dict[int, _WorkerSlice] = {}
+        #: epoch of the pool our run_id was last configured on; a
+        #: different epoch on acquisition means a replacement pool.
+        self._pool_epoch: Optional[int] = None
+        self._started = False
+        self._latest_by_pid: Dict[Tuple[int, int], _WorkerSlice] = {}
+        #: metric snapshots folded in from worker generations that were
+        #: since reconfigured away (another session took the pool, or a
+        #: crash replaced it) — merged_metrics() sums these bases with
+        #: the live _latest_by_pid slices.
+        self._metric_bases: List[Dict] = []
+        self._states_base = 0
+        #: optional disk-backed cache store: loaded on start(), appended
+        #: on close(); carries component verdicts across runs/tenants.
+        self._store = PersistentCacheStore(cache_store) if cache_store else None
+        self._persistent_fps: FrozenSet = frozenset()
+        self._store_mark = 0
         self.batches = 0
         #: optional merge hook ``(chunk_index, WorkerResult) -> None``,
         #: invoked per chunk in deterministic chunk order right after
@@ -247,40 +292,126 @@ class ParallelExplorer:
     # -- pool lifecycle -------------------------------------------------------
 
     def start(self) -> "ParallelExplorer":
-        """Lease a warm pool (or the caller's) and configure it for this run."""
-        if self._run_id is not None:
+        """Begin a run: seed from the cache store and warm-configure the pool.
+
+        The configure lease is released immediately — leases are
+        round-scoped, so between rounds the pool is free for other
+        sessions (this is what makes concurrent sessions round-robin
+        instead of serializing whole runs).
+        """
+        if self._started:
             return self
-        # A new configuration means freshly-reset worker engines: drop
-        # any previous run's cumulative per-pid counters (aggregation
+        # A new run means freshly-reset worker engines: drop any
+        # previous run's cumulative per-worker counters (aggregation
         # would double-count them) and broadcast marks (reconfigured
         # workers hold nothing; pids can even be recycled).
         self._latest_by_pid.clear()
         self._pid_marks.clear()
+        self._metric_bases = []
+        self._states_base = 0
+        self._run_id = None
+        self._pool_epoch = None
         self.batches = 0
+        if self._store is not None:
+            with self._tele.span("parallel.cache_load", path=self._store.path):
+                adopted = self._store.load_into(self.master_cache)
+            self._persistent_fps = self._store.seen_fps()
+            self._store_mark = self.master_cache.journal_mark()
+            self.telemetry.registry.gauge("parallel.persistent_loaded").set(adopted)
+        self._started = True
+        try:
+            pool = self._acquire_round()
+        except BaseException:
+            self._started = False
+            raise
+        self._release_round(pool)
+        return self
+
+    def close(self) -> None:
+        """End the run and flush newly discovered entries to the store.
+
+        With round-scoped leases there is no held lease to release — the
+        pool was already free (and warm) the moment the last round's
+        results were collected.
+        """
+        if not self._started:
+            return
+        self._started = False
+        self._run_id = None
+        self._pool_epoch = None
+        if self._store is not None:
+            with self._tele.span("parallel.cache_flush", path=self._store.path):
+                appended = self._store.append_from(self.master_cache, self._store_mark)
+            self._store_mark = self.master_cache.journal_mark()
+            self.telemetry.registry.gauge("parallel.persistent_appended").set(appended)
+
+    # -- round-scoped leasing --------------------------------------------------
+
+    def _acquire_round(self) -> WorkerPool:
+        """Lease the pool for one round, (re)configuring it when needed."""
         if self._external_pool is not None:
-            self._pool, self._pool_transient = self._external_pool, False
+            pool = self._external_pool
+            if not pool.acquire():
+                if pool.broken:
+                    raise WorkerCrashError("WorkerPool is broken (a worker died)")
+                raise RuntimeError("WorkerPool is closed")
         else:
-            self._pool, self._pool_transient = acquire_pool(self.workers)
-        self._run_id = self._pool.configure(
+            pool, _ = acquire_pool(self.workers)
+        try:
+            self._ensure_configured(pool)
+        except BaseException:
+            self._release_round(pool)
+            raise
+        return pool
+
+    def _release_round(self, pool: WorkerPool) -> None:
+        if pool is self._external_pool:
+            pool.release()
+        else:
+            release_pool(pool)
+
+    def _ensure_configured(self, pool: WorkerPool) -> None:
+        """Re-broadcast our spec unless the pool is still configured for us.
+
+        Reconfiguring resets the worker engines, so whatever cumulative
+        metric slices and journal marks we hold describe worker
+        generations that no longer exist: fold the slices into the base
+        accumulator and drop the marks (the next delta re-ships from 0 —
+        sound, receivers dedup by fingerprint).
+        """
+        if (
+            self._run_id is not None
+            and pool.active_run_id == self._run_id
+            and pool.epoch == self._pool_epoch
+        ):
+            return
+        self._fold_metric_slices()
+        self._pid_marks.clear()
+        self._run_id = pool.configure(
             self.program,
             self.exec_config,
             self.namespace,
             self.solver_budget,
             trace_hlpc=self.trace_hlpc,
             trace=self.telemetry.enabled,
+            persistent_fps=self._persistent_fps or None,
+            run_id=self._run_id,
         )
+        self._pool_epoch = pool.epoch
         registry = self.telemetry.registry
-        registry.gauge("parallel.pool_spawns").set(self._pool.spawns)
-        registry.gauge("parallel.program_ships").set(self._pool.program_ships)
-        return self
+        registry.gauge("parallel.pool_spawns").set(pool.spawns)
+        registry.gauge("parallel.program_ships").set(pool.program_ships)
 
-    def close(self) -> None:
-        """Release the pool lease (workers stay warm for the next run)."""
-        pool, self._pool = self._pool, None
-        self._run_id = None
-        if pool is None or pool is self._external_pool:
+    def _fold_metric_slices(self) -> None:
+        if not self._latest_by_pid:
             return
-        release_pool(pool, self._pool_transient)
+        self._metric_bases.append(
+            merge_snapshots([s.metrics for s in self._latest_by_pid.values()])
+        )
+        self._states_base += sum(
+            s.states_created for s in self._latest_by_pid.values()
+        )
+        self._latest_by_pid.clear()
 
     def __enter__(self) -> "ParallelExplorer":
         return self.start()
@@ -298,7 +429,7 @@ class ParallelExplorer:
         regardless of which worker ran which chunk, and worker cache
         deltas are folded into the master cache in that same order.
         """
-        if self._run_id is None:
+        if not self._started:
             raise RuntimeError("ParallelExplorer pool is not started")
         if not snapshots:
             return []
@@ -310,20 +441,51 @@ class ParallelExplorer:
             size = base + (1 if index < extra else 0)
             chunks.append(snapshots[start : start + size])
             start += size
-        if len(self._pid_marks) >= self.workers:
-            base_mark = min(self._pid_marks.values())
-        else:
-            base_mark = 0  # some worker has never reported; it knows nothing
-        delta = self.master_cache.export_delta(base_mark)
-        round_mark = self.master_cache.journal_mark()
-        with self._tele.span(
-            "parallel.ship",
-            round=self.batches,
-            states=len(snapshots),
-            chunks=len(chunks),
-            delta=len(delta),
-        ):
-            results = self._pool.run_round(self._run_id, self.batches, chunks, delta)
+        retried = False
+        while True:
+            # Lease per round: the pool is free for other sessions the
+            # moment our results are collected, and FIFO acquisition
+            # makes the interleaving round-robin fair.
+            try:
+                pool = self._acquire_round()
+            except WorkerCrashError:
+                if self._external_pool is not None or retried:
+                    raise
+                retried = True  # registry hands out a replacement pool
+                continue
+            epoch = pool.epoch
+            try:
+                marks = [
+                    mark
+                    for (mark_epoch, _pid), mark in self._pid_marks.items()
+                    if mark_epoch == epoch
+                ]
+                if len(marks) >= self.workers:
+                    base_mark = min(marks)
+                else:
+                    base_mark = 0  # some worker has never reported; it knows nothing
+                delta = self.master_cache.export_delta(base_mark)
+                round_mark = self.master_cache.journal_mark()
+                with self._tele.span(
+                    "parallel.ship",
+                    round=self.batches,
+                    states=len(snapshots),
+                    chunks=len(chunks),
+                    delta=len(delta),
+                ):
+                    results = pool.run_round(self._run_id, self.batches, chunks, delta)
+            except WorkerCrashError:
+                # Results merge strictly after a full round collects, so
+                # nothing of the failed round landed anywhere: safe to
+                # retry the identical round once on a replacement pool
+                # (caller-owned pools fail through to the caller).
+                if self._external_pool is not None or retried:
+                    raise
+                retried = True
+                continue
+            finally:
+                self._release_round(pool)
+            break
         for chunk_index, result in enumerate(results):
             with self._tele.span(
                 "parallel.merge",
@@ -333,7 +495,7 @@ class ParallelExplorer:
                 pending=len(result.pending),
             ):
                 self.master_cache.merge(result.cache_delta)
-                self._latest_by_pid[result.pid] = _WorkerSlice(
+                self._latest_by_pid[(epoch, result.pid)] = _WorkerSlice(
                     metrics=result.metrics,
                     states_created=result.states_created,
                 )
@@ -341,7 +503,7 @@ class ParallelExplorer:
                 # This worker merged [base_mark, round_mark) on top of its
                 # own previous mark (>= base_mark), so it holds the full
                 # prefix now.
-                self._pid_marks[result.pid] = round_mark
+                self._pid_marks[(epoch, result.pid)] = round_mark
                 if self.on_merge is not None:
                     self.on_merge(chunk_index, result)
         self.batches += 1
@@ -356,7 +518,7 @@ class ParallelExplorer:
         rounds — a round may overshoot by at most one batch.
         """
         start_time = time.monotonic()
-        own_session = self._run_id is None
+        own_session = not self._started
         if own_session:
             self.start()
         frontier: List[StateSnapshot] = [boot_snapshot(self.program)]
@@ -395,9 +557,16 @@ class ParallelExplorer:
     # -- statistics -----------------------------------------------------------
 
     def merged_metrics(self) -> Dict:
-        """Pool-wide metrics: latest cumulative snapshot per pid, merged."""
+        """Pool-wide metrics: folded bases + latest cumulative snapshots.
+
+        ``_metric_bases`` holds the totals of worker generations that
+        were reconfigured away mid-run (another session took the pool,
+        or a crash replaced it); ``_latest_by_pid`` holds the live
+        generation's cumulative snapshots, one per (epoch, pid).
+        """
         return merge_snapshots(
-            [worker.metrics for worker in self._latest_by_pid.values()]
+            self._metric_bases
+            + [worker.metrics for worker in self._latest_by_pid.values()]
         )
 
     def aggregate(self, kind: str) -> Dict[str, int]:
@@ -415,6 +584,10 @@ class ParallelExplorer:
         report only the forks they created (restores are excluded on the
         worker side), and the boot state is counted once here.
         """
-        if not self._latest_by_pid:
+        if not self._latest_by_pid and not self._metric_bases:
             return 0
-        return 1 + sum(r.states_created for r in self._latest_by_pid.values())
+        return (
+            1
+            + self._states_base
+            + sum(r.states_created for r in self._latest_by_pid.values())
+        )

@@ -39,18 +39,25 @@ no hang, no partial merge.  Broken pools are replaced on the next
 
 :func:`acquire_pool` / :func:`release_pool` manage a process-wide shared
 registry keyed by worker count — consecutive explorations reuse the warm
-pool; a concurrent exploration (the shared pool is leased) gets a
-private transient pool that is closed on release.  All shared pools are
-closed at interpreter exit.
+pool.  Acquisition **waits in FIFO order** when the pool is leased:
+concurrent explorers (daemon sessions, threads) queue for the one warm
+pool instead of silently paying full spawn + program-ship cost on a
+private transient pool, and since the coordinator leases per *round*,
+FIFO hand-off is exactly round-robin fair scheduling across sessions.
+All shared pools are closed at interpreter exit.
 """
 
 from __future__ import annotations
 
 import atexit
 import hashlib
+import itertools
 import multiprocessing
 import pickle
 import queue as _queue
+import threading
+import time
+from collections import deque
 from typing import Dict, List, Optional, Tuple
 
 from repro.lowlevel.program import Program
@@ -70,6 +77,16 @@ _POLL = 0.1
 #: Distinct program images a pool remembers digests for (FIFO evicted).
 _DIGEST_MEMO = 8
 
+#: Pool identity generator: every WorkerPool instance gets a unique
+#: epoch, so journals/high-water marks keyed by (epoch, pid) can never
+#: confuse a replacement pool's recycled pids with the crashed pool's.
+_EPOCH_COUNTER = itertools.count(1)
+
+#: Run identity generator — process-wide, not per pool, so a session
+#: that restores its run onto a *replacement* pool (after a crash)
+#: keeps an id no other session can ever be assigned.
+_RUN_ID_COUNTER = itertools.count(1)
+
 
 class WorkerCrashError(RuntimeError):
     """A worker process died or raised; the pool is broken (fail-fast)."""
@@ -82,6 +99,9 @@ class WorkerPool:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        #: unique pool identity; (epoch, pid) keys journals/high-water
+        #: marks so a replacement pool's recycled pids stay distinct.
+        self.epoch = next(_EPOCH_COUNTER)
         #: worker processes ever spawned by this pool (lifecycle tests
         #: assert warm reuse keeps this at ``workers``).
         self.spawns = 0
@@ -89,31 +109,83 @@ class WorkerPool:
         self.program_ships = 0
         #: completed :meth:`configure` calls (one per explorer run).
         self.configures = 0
+        #: workers that had to be terminated/killed by :meth:`close`.
+        self.kills = 0
+        #: the run the workers are currently configured for (None before
+        #: the first configure); interleaved sessions use this to decide
+        #: whether a freshly acquired pool needs reconfiguring.
+        self.active_run_id: Optional[int] = None
         self.closed = False
         self.broken = False
         self._procs: List = []
         self._ctrl_qs: List = []
         self._task_q = None
         self._result_q = None
-        self._run_counter = 0
         #: id(program) -> (program ref, digest): skips re-pickling when
         #: the same object is configured again (ref keeps the id stable).
         self._digest_memo: Dict[int, Tuple[Program, str]] = {}
         #: digests whose image bytes the workers already hold.
         self._shipped: set = set()
-        self._leased = False
+        self._lease_cond = threading.Condition()
+        self._lease_owner: Optional[object] = None
+        self._lease_waiters: "deque" = deque()
 
     # -- leasing (shared-registry bookkeeping) --------------------------------
 
+    @property
+    def _leased(self) -> bool:
+        return self._lease_owner is not None
+
+    def acquire(self, timeout: Optional[float] = None) -> bool:
+        """Lease the pool, waiting in FIFO order if it is already leased.
+
+        Waiters are served strictly first-come-first-served, which is
+        the fairness primitive concurrent sessions are scheduled by:
+        with per-round leases, N waiting sessions alternate rounds
+        round-robin.  Returns False if the pool closes or breaks while
+        waiting, or the timeout elapses.
+        """
+        token = object()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lease_cond:
+            self._lease_waiters.append(token)
+            try:
+                while True:
+                    if self.closed or self.broken:
+                        return False
+                    if self._lease_owner is None and self._lease_waiters[0] is token:
+                        self._lease_owner = token
+                        return True
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            return False
+                    self._lease_cond.wait(remaining)
+            finally:
+                try:
+                    self._lease_waiters.remove(token)
+                except ValueError:
+                    pass
+                self._lease_cond.notify_all()
+
     def try_acquire(self) -> bool:
-        """Lease the pool to one explorer; False if already leased."""
-        if self._leased or self.closed or self.broken:
-            return False
-        self._leased = True
-        return True
+        """Lease the pool without waiting; False if leased or waited on."""
+        with self._lease_cond:
+            if (
+                self._lease_owner is not None
+                or self._lease_waiters
+                or self.closed
+                or self.broken
+            ):
+                return False
+            self._lease_owner = object()
+            return True
 
     def release(self) -> None:
-        self._leased = False
+        with self._lease_cond:
+            self._lease_owner = None
+            self._lease_cond.notify_all()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -142,30 +214,63 @@ class WorkerPool:
             self._ctrl_qs.append(ctrl_q)
             self._procs.append(proc)
 
-    def close(self) -> None:
-        """Stop the workers and join them; safe to call repeatedly."""
+    def close(self, join_timeout: float = 5.0) -> None:
+        """Stop the workers and reap every child; safe to call repeatedly.
+
+        Shutdown escalates: a polite ``("stop",)`` plus ``join`` with a
+        timeout, then ``terminate()`` (SIGTERM), then ``kill()``
+        (SIGKILL, which reaps even a SIGSTOPped or wedged worker).  A
+        broken control queue must not leave zombie children behind — the
+        old best-effort close could, when a worker never drained its
+        queue.  After close, no child of this pool is alive
+        (``kills`` counts the ones that needed force).
+        """
         if self.closed:
             return
         self.closed = True
-        # Best-effort: at interpreter exit multiprocessing's own atexit
-        # cleanup may already have torn down queue feeder threads.
+        with self._lease_cond:
+            self._lease_cond.notify_all()  # waiters see closed and bail
+        # Polite phase; at interpreter exit multiprocessing's own atexit
+        # cleanup may already have torn down queue feeder threads, so a
+        # failed put just skips straight to the escalation below.
         for ctrl_q in self._ctrl_qs:
             try:
                 ctrl_q.put(("stop",))
             except Exception:
                 pass
+        survivors = []
         for proc in self._procs:
             try:
-                proc.join(timeout=5.0)
+                proc.join(timeout=join_timeout)
+            except Exception:
+                pass
+            if proc.is_alive():
+                survivors.append(proc)
+        for proc in survivors:
+            self.kills += 1
+            try:
+                proc.terminate()
+                proc.join(timeout=join_timeout)
                 if proc.is_alive():
-                    proc.terminate()
-                    proc.join(timeout=1.0)
+                    proc.kill()
+                    proc.join(timeout=join_timeout)
+            except Exception:
+                pass
+        # Release queue feeder threads so interpreter exit never blocks
+        # on a queue whose reader was just killed.
+        for q in [self._task_q, self._result_q, *self._ctrl_qs]:
+            if q is None:
+                continue
+            try:
+                q.close()
+                q.cancel_join_thread()
             except Exception:
                 pass
         self._procs = []
         self._ctrl_qs = []
         self._task_q = None
         self._result_q = None
+        self.active_run_id = None
 
     # -- program shipping ------------------------------------------------------
 
@@ -201,6 +306,8 @@ class WorkerPool:
         solver_budget: int,
         trace_hlpc: bool = False,
         trace: bool = False,
+        persistent_fps: Optional[frozenset] = None,
+        run_id: Optional[int] = None,
     ) -> int:
         """Broadcast a run spec to every worker and wait for the acks.
 
@@ -208,13 +315,19 @@ class WorkerPool:
         results of other run ids are mutually ignored.  Each worker
         rebuilds its engine (fresh solver, cache, telemetry lane, intern
         tables) so a reused pool behaves exactly like fresh processes.
+        ``persistent_fps`` tags cache entries loaded from a persistent
+        store, so worker-side hits on them count as cross-run reuse.
+        Passing an explicit ``run_id`` (one previously returned by this
+        pool) *re*-configures the workers for that run — how interleaved
+        sessions restore their configuration after another session used
+        the pool, without invalidating their in-flight run identity.
         """
         self._ensure_started()
         digest, blob = self._program_digest(program)
         if blob is not None:
             self.program_ships += 1
-        self._run_counter += 1
-        run_id = self._run_counter
+        if run_id is None:
+            run_id = next(_RUN_ID_COUNTER)
         spec = {
             "run_id": run_id,
             "program_digest": digest,
@@ -224,12 +337,14 @@ class WorkerPool:
             "solver_budget": solver_budget,
             "trace_hlpc": trace_hlpc,
             "trace": trace,
+            "persistent_fps": persistent_fps,
         }
         for ctrl_q in self._ctrl_qs:
             ctrl_q.put(("configure", spec))
         self._collect(run_id, "configured", self.workers)
         self._shipped.add(digest)
         self.configures += 1
+        self.active_run_id = run_id
         return run_id
 
     def run_round(self, run_id: int, round_no: int, chunks: List, delta) -> List:
@@ -312,23 +427,36 @@ def shared_worker_pool(workers: int) -> WorkerPool:
     return pool
 
 
-def acquire_pool(workers: int) -> Tuple[WorkerPool, bool]:
-    """Lease a pool; ``(pool, transient)``.
+def acquire_pool(workers: int, timeout: Optional[float] = None) -> Tuple[WorkerPool, bool]:
+    """Lease the shared pool for this worker count; ``(pool, transient)``.
 
-    The shared pool is preferred (warm reuse); if it is already leased —
-    two explorers running concurrently in one process — a private
-    transient pool is returned (``transient=True``) which
-    :func:`release_pool` closes instead of parking.
+    When the pool is already leased — concurrent explorers in one
+    process, the common case under a service daemon — acquisition
+    **waits in FIFO order** instead of falling back to a private
+    transient pool: the old fallback silently paid full spawn +
+    program-ship cost per concurrent session and broke the
+    ``program_ships`` ship-once invariant.  ``transient`` is always
+    False now and remains in the signature only for
+    :func:`release_pool` symmetry.  A pool that closes or breaks while
+    being waited on is replaced transparently; ``timeout`` bounds the
+    total wait (:class:`TimeoutError` on expiry).
     """
-    pool = shared_worker_pool(workers)
-    if pool.try_acquire():
-        return pool, False
-    pool = WorkerPool(workers)
-    pool.try_acquire()
-    return pool, True
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        pool = shared_worker_pool(workers)
+        remaining = None if deadline is None else max(deadline - time.monotonic(), 0.0)
+        if pool.acquire(timeout=remaining):
+            return pool, False
+        if not (pool.closed or pool.broken):
+            raise TimeoutError(
+                f"timed out after {timeout}s waiting for the shared "
+                f"{workers}-worker pool lease"
+            )
+        # Closed/broken while we waited: loop — the registry hands out
+        # a replacement.
 
 
-def release_pool(pool: WorkerPool, transient: bool) -> None:
+def release_pool(pool: WorkerPool, transient: bool = False) -> None:
     """Return a lease; transient and broken pools are closed outright."""
     pool.release()
     if transient or pool.broken:

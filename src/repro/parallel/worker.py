@@ -115,11 +115,18 @@ def configure_worker(spec: Dict) -> None:
         _PROGRAM_CACHE[digest] = pickle.loads(blob)
     program = _PROGRAM_CACHE[digest]
     telemetry = Telemetry(enabled=spec["trace"], lane=f"worker-{os.getpid()}")
+    cache = ModelCache(registry=telemetry.registry)
+    persistent_fps = spec.get("persistent_fps")
+    if persistent_fps:
+        # Entries with these fingerprints were loaded from a persistent
+        # store; they arrive via the coordinator's delta broadcasts, and
+        # hits on them count as cross-run reuse (cache.cross_run_hits).
+        cache.mark_persistent(persistent_fps)
     engine = LowLevelEngine(
         program,
         solver=CspSolver(
             budget=spec["solver_budget"],
-            cache=ModelCache(registry=telemetry.registry),
+            cache=cache,
             telemetry=telemetry,
         ),
         config=spec["exec_config"],

@@ -1,0 +1,106 @@
+"""Thin blocking client for the symbolic-execution service daemon.
+
+One request per connection: the client opens the daemon's Unix socket,
+writes one JSON request line, and reads JSON reply lines until the
+operation's terminal message (see :mod:`repro.service.protocol`).
+``run_events`` is a generator — events stream as the daemon produces
+them, and abandoning the generator closes the socket, which the daemon
+observes as a hung-up client and unwinds the session cleanly.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import asdict, is_dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.service import protocol
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """The daemon reported an error (or the connection died mid-op)."""
+
+
+class ServiceClient:
+    """Blocking JSON-lines client over the daemon's Unix socket."""
+
+    def __init__(self, socket_path: str, timeout: Optional[float] = 300.0):
+        self.socket_path = socket_path
+        self.timeout = timeout
+
+    def _connect(self):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self.socket_path)
+        return sock
+
+    def _simple(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """One-shot op: send the request, return the single reply line."""
+        with self._connect() as sock:
+            with sock.makefile("rwb") as fh:
+                protocol.write_message(fh, request)
+                reply = protocol.read_message(fh)
+        if reply is None:
+            raise ServiceError("daemon closed the connection without replying")
+        if "error" in reply:
+            raise ServiceError(reply["error"])
+        return reply
+
+    # -- control ops -----------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self._simple({"op": "ping"})
+
+    def stats(self) -> Dict[str, Any]:
+        """Service metrics + shared-pool counters (see daemon ``_stats``)."""
+        return self._simple({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._simple({"op": "shutdown"})
+
+    # -- sessions --------------------------------------------------------------
+
+    def run_events(
+        self,
+        *,
+        clay: Optional[str] = None,
+        language: Optional[str] = None,
+        source: Optional[str] = None,
+        config: Optional[Dict[str, Any]] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream one session's wire events (ends with ``RunFinished``).
+
+        ``config`` holds the budget/strategy fields of the run request
+        (a :class:`~repro.chef.options.ChefConfig`-shaped dict is
+        accepted); the daemon clamps budgets and owns worker count.
+        """
+        if is_dataclass(config):
+            config = asdict(config)
+        request: Dict[str, Any] = {"op": "run", "config": config or {}}
+        if clay is not None:
+            request["clay"] = clay
+        else:
+            request["language"] = language
+            request["source"] = source
+        with self._connect() as sock:
+            with sock.makefile("rwb") as fh:
+                protocol.write_message(fh, request)
+                while True:
+                    message = protocol.read_message(fh)
+                    if message is None:
+                        raise ServiceError(
+                            "daemon closed the stream before RunFinished"
+                        )
+                    if "error" in message:
+                        raise ServiceError(message["error"])
+                    yield message
+                    if message.get("event") == "RunFinished":
+                        return
+
+    def run(self, **kwargs) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
+        """Run to completion; ``(all wire events, RunFinished result)``."""
+        events = list(self.run_events(**kwargs))
+        return events, events[-1]["result"]

@@ -1,0 +1,329 @@
+"""Symbolic execution as a service: the asyncio session daemon.
+
+:class:`ChefService` accepts many concurrent symbolic-execution
+sessions over one local (Unix-domain) socket and multiplexes them over
+**one** process-wide persistent :class:`~repro.parallel.pool.WorkerPool`:
+every session's parallel explorer leases the pool per *round* in FIFO
+order, so N concurrent tenants interleave rounds round-robin over warm
+workers — the Program image of each distinct target ships once per pool,
+not once per session (the ``program_ships`` invariant the pool tests
+gate).
+
+Per-session budgets are clamped against the service caps
+(:class:`ServiceConfig`), admission is bounded by a semaphore, and the
+typed :mod:`repro.api.events` stream crosses the socket as JSON lines
+(see :mod:`repro.service.protocol`).
+
+Cross-tenant cache reuse: with ``cache_dir`` set, every distinct target
+gets a disk-backed :class:`~repro.solver.cache.PersistentCacheStore`
+keyed by its content digest, and the session's symbolic-variable
+namespace is *derived from that digest* — variable names, and therefore
+constraint fingerprints, become a pure function of the target, so a
+warm second run (same tenant or another) re-keys nothing and
+subset-UNSAT/superset-SAT verdicts hit across runs
+(``service.cache.cross_run_hits``).
+
+Observability: one service-wide telemetry context (``service.*``
+counters, sessions/sec gauge) plus a Chrome-trace lane per session
+(``session-<id>``) folded into the service event log when the session
+ends — ``write_chrome_trace`` shows tenants as swimlanes next to the
+coordinator and worker lanes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import itertools
+import json
+import os
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional
+
+from repro.api.session import SymbolicSession
+from repro.chef.options import ChefConfig
+from repro.obs.telemetry import Telemetry
+from repro.service import protocol
+
+__all__ = ["ChefService", "ServiceConfig"]
+
+
+@dataclass
+class ServiceConfig:
+    """Operating limits of one daemon instance."""
+
+    #: Unix-domain socket path the daemon listens on.
+    socket_path: str
+    #: worker processes in the one shared pool (1 = serial sessions,
+    #: which still share the process-wide in-memory model cache but not
+    #: the round-robin pool scheduling).
+    workers: int = 2
+    #: sessions allowed to *run* concurrently; excess requests queue
+    #: FIFO on the admission semaphore.
+    max_sessions: int = 8
+    #: per-session wall-clock budget ceiling (requests are clamped).
+    max_time_budget: float = 60.0
+    #: per-session low-level path ceiling; also the default for
+    #: requests that ask for unlimited paths (0) — a service never
+    #: grants unbounded exploration.
+    max_ll_paths: int = 10_000
+    #: directory of per-target persistent cache stores (None = off).
+    cache_dir: Optional[str] = None
+    #: record tracing spans (per-session Chrome-trace lanes).
+    trace: bool = False
+
+
+class ChefService:
+    """The daemon: admission, budgets, fair scheduling, cache reuse."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.telemetry = Telemetry(enabled=config.trace, lane="service")
+        self.registry = self.telemetry.registry
+        self._sid_counter = itertools.count(1)
+        self._start_time = time.monotonic()
+        self._stop: Optional[asyncio.Event] = None
+        self._admission: Optional[asyncio.Semaphore] = None
+        if config.cache_dir:
+            os.makedirs(config.cache_dir, exist_ok=True)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def serve(self) -> None:
+        """Listen until a ``shutdown`` request arrives."""
+        self._stop = asyncio.Event()
+        self._admission = asyncio.Semaphore(self.config.max_sessions)
+        if os.path.exists(self.config.socket_path):
+            os.unlink(self.config.socket_path)
+        server = await asyncio.start_unix_server(
+            self._handle, path=self.config.socket_path
+        )
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            if os.path.exists(self.config.socket_path):
+                os.unlink(self.config.socket_path)
+
+    def serve_forever(self) -> None:
+        """Blocking wrapper around :meth:`serve` (its own event loop)."""
+        asyncio.run(self.serve())
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            line = await reader.readline()
+            if not line:
+                return
+            try:
+                request = json.loads(line)
+            except ValueError as exc:
+                await self._send(writer, {"error": f"bad request: {exc}"})
+                return
+            op = request.get("op")
+            if op == "ping":
+                await self._send(writer, {"ok": True, "op": "ping", "pid": os.getpid()})
+            elif op == "stats":
+                await self._send(writer, self._stats())
+            elif op == "shutdown":
+                await self._send(writer, {"ok": True, "op": "shutdown"})
+                self._stop.set()
+            elif op == "run":
+                await self._run_session(request, writer)
+            else:
+                await self._send(writer, {"error": f"unknown op: {op!r}"})
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; the session unwinds via aevents' finally
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _send(self, writer, message: Dict[str, Any]) -> None:
+        writer.write(protocol.encode_line(message))
+        await writer.drain()
+
+    # -- sessions --------------------------------------------------------------
+
+    async def _run_session(self, request: Dict[str, Any], writer) -> None:
+        sid = next(self._sid_counter)
+        session_tele = Telemetry(enabled=self.config.trace, lane=f"session-{sid}")
+        try:
+            session = self._build_session(request, session_tele)
+        except Exception as exc:
+            self.registry.counter("service.sessions.rejected").inc()
+            await self._send(writer, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        self.registry.gauge("service.sessions.waiting").value += 1
+        await self._admission.acquire()
+        self.registry.gauge("service.sessions.waiting").value -= 1
+        self.registry.counter("service.sessions.started").inc()
+        self.registry.gauge("service.sessions.active").value += 1
+        events_counter = self.registry.counter("service.events_streamed")
+        started = time.monotonic()
+        terminal: Optional[Dict[str, Any]] = None
+        try:
+            with self.telemetry.span("service.session", sid=sid):
+                stream = session.aevents()
+                try:
+                    async for event in stream:
+                        wire = protocol.event_to_wire(event)
+                        if wire.get("event") == "RunFinished":
+                            # Held back until the session is folded, so
+                            # a client that has seen the terminal line
+                            # observes consistent service counters.
+                            terminal = wire
+                            break
+                        await self._send(writer, wire)
+                        events_counter.inc()
+                finally:
+                    await stream.aclose()
+            if terminal is not None:
+                self.registry.counter("service.sessions.finished").inc()
+        except (ConnectionResetError, BrokenPipeError):
+            # Client hung up mid-stream: aevents' finally already closed
+            # the underlying stream (released pool lease, flushed store).
+            self.registry.counter("service.sessions.abandoned").inc()
+        except Exception as exc:
+            self.registry.counter("service.sessions.failed").inc()
+            try:
+                await self._send(writer, {"error": f"{type(exc).__name__}: {exc}"})
+            except Exception:
+                pass
+        finally:
+            self._admission.release()
+            self.registry.gauge("service.sessions.active").value -= 1
+            self._fold_session(session, session_tele, time.monotonic() - started)
+        if terminal is not None:
+            try:
+                await self._send(writer, terminal)
+                events_counter.inc()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _fold_session(self, session, session_tele: Telemetry, duration: float) -> None:
+        """Fold a finished session's telemetry into the service context."""
+        self.telemetry.extend_events(session_tele.drain_events())
+        self.registry.histogram("service.session_seconds").observe(duration)
+        try:
+            metrics = session.metrics()
+        except Exception:
+            return
+        for source_key, dest_key in (
+            ("cache.cross_run_hits", "service.cache.cross_run_hits"),
+            ("parallel.persistent_loaded", "service.cache.persistent_loaded"),
+        ):
+            value = metrics.get(source_key, 0)
+            if isinstance(value, (int, float)) and value:
+                self.registry.counter(dest_key).inc(int(value))
+        elapsed = max(time.monotonic() - self._start_time, 1e-9)
+        finished = self.registry.counter("service.sessions.finished").value
+        self.registry.gauge("service.sessions_per_sec").set(finished / elapsed)
+
+    def _build_session(
+        self, request: Dict[str, Any], session_tele: Telemetry
+    ) -> SymbolicSession:
+        """Construct the session a ``run`` request describes.
+
+        Targets are either raw Clay source (``clay``) explored via
+        :meth:`SymbolicSession.from_program`, or a registered guest
+        language (``language`` + ``source``).  The target's content
+        digest keys both the symbolic namespace (deterministic
+        fingerprints) and its persistent cache store.
+        """
+        chef_config = self._clamp_config(request.get("config") or {})
+        clay_source = request.get("clay")
+        language = request.get("language")
+        source = request.get("source")
+        if clay_source is not None:
+            digest = self._digest("clay", clay_source)
+            from repro.clay import compile_program
+
+            program = compile_program(clay_source).program
+            chef_config = replace(chef_config, cache_store=self._store_path(digest))
+            return SymbolicSession.from_program(
+                program,
+                chef_config,
+                namespace=f"svc{digest}:",
+                telemetry=session_tele,
+            )
+        if language and source is not None:
+            digest = self._digest(str(language), source)
+            chef_config = replace(chef_config, cache_store=self._store_path(digest))
+            return SymbolicSession(
+                language, source, chef_config, namespace=f"svc{digest}:"
+            )
+        raise ValueError("run request needs 'clay' or 'language' + 'source'")
+
+    def _clamp_config(self, requested: Dict[str, Any]) -> ChefConfig:
+        """Budget-clamped :class:`ChefConfig` for one session.
+
+        Clients choose strategy/seed/budgets within the service caps;
+        worker count and tracing are service policy, never the client's.
+        """
+        config = ChefConfig()
+        for field_name in (
+            "strategy",
+            "seed",
+            "max_hl_paths",
+            "path_instr_budget",
+            "solver_budget",
+            "sample_every",
+            "worker_batch",
+        ):
+            if field_name in requested:
+                config = replace(config, **{field_name: requested[field_name]})
+        time_budget = float(requested.get("time_budget", self.config.max_time_budget))
+        max_ll_paths = int(requested.get("max_ll_paths", 0))
+        if max_ll_paths <= 0:
+            max_ll_paths = self.config.max_ll_paths
+        return replace(
+            config,
+            time_budget=min(time_budget, self.config.max_time_budget),
+            max_ll_paths=min(max_ll_paths, self.config.max_ll_paths),
+            workers=self.config.workers,
+            trace=self.config.trace,
+        )
+
+    @staticmethod
+    def _digest(kind: str, source: str) -> str:
+        return hashlib.blake2b(
+            f"{kind}\x00{source}".encode("utf-8"), digest_size=6
+        ).hexdigest()
+
+    def _store_path(self, digest: str) -> Optional[str]:
+        if not self.config.cache_dir:
+            return None
+        return os.path.join(self.config.cache_dir, f"{digest}.cache")
+
+    # -- introspection ---------------------------------------------------------
+
+    def _stats(self) -> Dict[str, Any]:
+        from repro.parallel.pool import shared_worker_pool
+
+        pool = shared_worker_pool(self.config.workers)
+        return {
+            "ok": True,
+            "op": "stats",
+            "uptime": time.monotonic() - self._start_time,
+            "metrics": self.telemetry.metrics(),
+            "pool": {
+                "workers": pool.workers,
+                "epoch": pool.epoch,
+                "spawns": pool.spawns,
+                "program_ships": pool.program_ships,
+                "configures": pool.configures,
+                "kills": pool.kills,
+            },
+        }
+
+    def write_chrome_trace(self, path) -> None:
+        """Export service + per-session lanes as a Chrome-trace file."""
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(path, self.telemetry)

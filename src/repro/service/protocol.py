@@ -1,0 +1,151 @@
+"""Wire protocol of the symbolic-execution service: JSON lines.
+
+Every message — request, streamed event, terminal reply — is one JSON
+object per ``\\n``-terminated UTF-8 line.  Requests carry an ``op``
+(``run`` / ``ping`` / ``stats`` / ``shutdown``); a ``run`` streams the
+session's typed :mod:`repro.api.events` taxonomy back as wire events
+(``{"event": "<ClassName>", ...payload}``) and always ends the stream
+with a terminal line: the ``RunFinished`` event on success, or
+``{"error": "..."}``.
+
+The encoding is lossy on purpose: ``TestCase.path_constraints`` (interned
+expression graphs) and the full per-case list inside ``RunFinished`` stay
+server-side — cases already crossed the wire one ``PathCompleted`` at a
+time, so the result carries totals only.  What does cross is everything
+the determinism contract is stated over: inputs, status, output,
+signature — a client can compare a daemon session's path-event multiset
+against an in-process run's exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, Optional
+
+from repro.api.events import (
+    BatchMerged,
+    BudgetExhausted,
+    MetricsUpdated,
+    PathCompleted,
+    RunFinished,
+    SessionEvent,
+    TestCaseFound,
+)
+
+__all__ = [
+    "case_to_wire",
+    "encode_line",
+    "event_to_wire",
+    "path_event_key",
+    "path_event_multiset",
+    "read_message",
+    "result_to_wire",
+    "write_message",
+]
+
+
+def case_to_wire(case) -> Dict[str, Any]:
+    """JSON-safe view of a :class:`~repro.chef.testcase.TestCase`."""
+    return {
+        "test_id": case.test_id,
+        "inputs": {name: list(values) for name, values in case.inputs.items()},
+        "status": case.status,
+        "hl_path_signature": case.hl_path_signature,
+        "new_hl_path": case.new_hl_path,
+        "exception_type": case.exception_type,
+        "hang": case.hang,
+        "interpreter_crash": case.interpreter_crash,
+        "output": list(case.output),
+        "hl_instr_count": case.hl_instr_count,
+        "ll_instr_count": case.ll_instr_count,
+        "wall_time": case.wall_time,
+    }
+
+
+def result_to_wire(result) -> Dict[str, Any]:
+    """JSON-safe totals of a :class:`~repro.chef.engine.RunResult`."""
+    return {
+        "hl_paths": result.hl_paths,
+        "ll_paths": result.ll_paths,
+        "duration": result.duration,
+        "cases": len(result.suite.cases),
+        "cfg_nodes": result.cfg_nodes,
+        "cfg_edges": result.cfg_edges,
+        "tree_nodes": result.tree_nodes,
+        "pending_left": result.pending_left,
+        "states_created": result.states_created,
+        "engine_stats": dict(result.engine_stats),
+        "solver_stats": dict(result.solver_stats),
+        "tags": dict(result.tags or {}),
+    }
+
+
+def event_to_wire(event: SessionEvent) -> Dict[str, Any]:
+    """Encode one typed session event as a wire dict."""
+    if isinstance(event, (PathCompleted, TestCaseFound)):
+        return {"event": type(event).__name__, "case": case_to_wire(event.case)}
+    if isinstance(event, BatchMerged):
+        return {
+            "event": "BatchMerged",
+            "round_no": event.round_no,
+            "chunk_index": event.chunk_index,
+            "records": event.records,
+            "pending": event.pending,
+        }
+    if isinstance(event, MetricsUpdated):
+        return {"event": "MetricsUpdated", "metrics": event.metrics}
+    if isinstance(event, BudgetExhausted):
+        return {"event": "BudgetExhausted", "reason": event.reason}
+    if isinstance(event, RunFinished):
+        return {"event": "RunFinished", "result": result_to_wire(event.result)}
+    return {"event": type(event).__name__}
+
+
+def path_event_key(wire_event: Dict[str, Any]):
+    """Comparison key of a wire path event, or None for progress events.
+
+    The multiset of these keys is the determinism contract: identical
+    between a daemon session and an in-process ``Session.run()`` of the
+    same exhaustive exploration (progress events — metrics, batch
+    markers — are timing-dependent and excluded).
+    """
+    if wire_event.get("event") not in ("PathCompleted", "TestCaseFound"):
+        return None
+    case = wire_event["case"]
+    inputs = tuple(
+        (name, tuple(values)) for name, values in sorted(case["inputs"].items())
+    )
+    return (wire_event["event"], inputs, case["status"], tuple(case["output"]))
+
+
+def path_event_multiset(wire_events: Iterable[Dict[str, Any]]) -> Dict:
+    """Multiset (key → count) over :func:`path_event_key` of a stream."""
+    counts: Dict = {}
+    for wire_event in wire_events:
+        key = path_event_key(wire_event)
+        if key is not None:
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+# -- line framing --------------------------------------------------------------
+
+
+def write_message(fh, message: Dict[str, Any]) -> None:
+    """Write one message as a JSON line to a binary file-like object."""
+    fh.write(encode_line(message))
+    fh.flush()
+
+
+def encode_line(message: Dict[str, Any]) -> bytes:
+    # default=str: metrics snapshots may carry non-JSON scalar types
+    # (e.g. histogram views); a lossy string beats a dead stream.
+    return (json.dumps(message, default=str) + "\n").encode("utf-8")
+
+
+def read_message(fh) -> Optional[Dict[str, Any]]:
+    """Read one JSON line; None on a cleanly closed stream."""
+    line = fh.readline()
+    if not line:
+        return None
+    return json.loads(line.decode("utf-8"))

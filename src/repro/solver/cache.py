@@ -28,8 +28,11 @@ tests).
 
 from __future__ import annotations
 
+import os
+import pickle
+import threading
 from collections import OrderedDict
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.lowlevel.expr import Expr, fingerprint
 from repro.obs.metrics import MetricsRegistry, counter_property
@@ -51,6 +54,8 @@ _COUNTER_FIELDS = (
     "stores",
     "merged_stores",
     "merged_hits",
+    "cross_run_hits",
+    "persistent_loaded",
 )
 
 
@@ -98,11 +103,27 @@ class ModelCache:
         #: local keys that arrived via merge(); hits on them are counted
         #: separately as cross-worker reuse.
         self._merged_keys: set = set()
+        #: fingerprint keys whose entries came from a persistent store
+        #: (another run, possibly another tenant); hits on them are
+        #: counted separately as cross-run reuse.
+        self._persistent_fps: Set[FrozenSet[int]] = set()
+        #: serialises mutation against concurrent sessions: the engine-wide
+        #: cache is shared by every tenant of a service daemon, and a bare
+        #: ``popitem`` racing a ``store`` could raise mid-eviction.
+        self._lock = threading.RLock()
 
     @staticmethod
     def key_for(atoms) -> FrozenSet[int]:
         """Cache key of an atom collection (interned-expression ids)."""
         return frozenset(id(a) for a in atoms if isinstance(a, Expr))
+
+    def _count_reuse(self, matched_key: FrozenSet[int]) -> None:
+        """Attribute a hit on ``matched_key`` to its provenance counters."""
+        if matched_key in self._merged_keys:
+            self.merged_hits += 1
+        fp_key = self._fp_of_key.get(matched_key)
+        if fp_key is not None and fp_key in self._persistent_fps:
+            self.cross_run_hits += 1
 
     # -- lookup ---------------------------------------------------------------
 
@@ -115,35 +136,33 @@ class ModelCache:
         """
         if not key:
             return None
-        entries = self._entries
-        exact = entries.get(key)
-        if exact is not None:
-            entries.move_to_end(key)
-            self.hits += 1
-            if key in self._merged_keys:
-                self.merged_hits += 1
-            return (HIT_EXACT, exact)
-        scanned = 0
-        for cached_key in reversed(entries):
-            if scanned >= self._scan_limit:
-                break
-            scanned += 1
-            result = entries[cached_key]
-            if result == UNSAT:
-                if cached_key <= key:
+        with self._lock:
+            entries = self._entries
+            exact = entries.get(key)
+            if exact is not None:
+                entries.move_to_end(key)
+                self.hits += 1
+                self._count_reuse(key)
+                return (HIT_EXACT, exact)
+            scanned = 0
+            for cached_key in reversed(entries):
+                if scanned >= self._scan_limit:
+                    break
+                scanned += 1
+                result = entries[cached_key]
+                if result == UNSAT:
+                    if cached_key <= key:
+                        entries.move_to_end(cached_key)
+                        self.subset_hits += 1
+                        self._count_reuse(cached_key)
+                        return (HIT_SUBSET_UNSAT, UNSAT)
+                elif key <= cached_key:
                     entries.move_to_end(cached_key)
-                    self.subset_hits += 1
-                    if cached_key in self._merged_keys:
-                        self.merged_hits += 1
-                    return (HIT_SUBSET_UNSAT, UNSAT)
-            elif key <= cached_key:
-                entries.move_to_end(cached_key)
-                self.superset_hits += 1
-                if cached_key in self._merged_keys:
-                    self.merged_hits += 1
-                return (HIT_SUPERSET_SAT, result)
-        self.misses += 1
-        return None
+                    self.superset_hits += 1
+                    self._count_reuse(cached_key)
+                    return (HIT_SUPERSET_SAT, result)
+            self.misses += 1
+            return None
 
     # -- store ----------------------------------------------------------------
 
@@ -156,25 +175,26 @@ class ModelCache:
         """
         if not key:
             return
-        is_new = key not in self._entries
-        if not is_new:
-            # A locally recomputed verdict replaces whatever was merged
-            # in; its hits are local reuse, not cross-worker reuse.
-            self._merged_keys.discard(key)
-        self._entries[key] = result
-        self._entries.move_to_end(key)
-        self.stores += 1
-        while len(self._entries) > self._max_entries:
-            evicted_key, _ = self._entries.popitem(last=False)
-            fp_key = self._fp_of_key.pop(evicted_key, None)
-            if fp_key is not None:
-                self._known_fps.discard(fp_key)
-            self._merged_keys.discard(evicted_key)
-        self._g_entries.value = len(self._entries)
-        if is_new and atoms is not None:
-            self._journal_entry(key, tuple(atoms), result)
-        if isinstance(result, dict):
-            self.remember_solution(result)
+        with self._lock:
+            is_new = key not in self._entries
+            if not is_new:
+                # A locally recomputed verdict replaces whatever was merged
+                # in; its hits are local reuse, not cross-worker reuse.
+                self._merged_keys.discard(key)
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            self.stores += 1
+            while len(self._entries) > self._max_entries:
+                evicted_key, _ = self._entries.popitem(last=False)
+                fp_key = self._fp_of_key.pop(evicted_key, None)
+                if fp_key is not None:
+                    self._known_fps.discard(fp_key)
+                self._merged_keys.discard(evicted_key)
+            self._g_entries.value = len(self._entries)
+            if is_new and atoms is not None:
+                self._journal_entry(key, tuple(atoms), result)
+            if isinstance(result, dict):
+                self.remember_solution(result)
 
     def _journal_entry(self, key: FrozenSet[int], atoms: Tuple[Expr, ...], result) -> None:
         fp_key = frozenset(fingerprint(a) for a in atoms)
@@ -204,8 +224,9 @@ class ModelCache:
         load, so the receiver re-keys each entry under its own interned
         ids via :meth:`merge`.
         """
-        start = max(mark - self._journal_base, 0)
-        return self._journal[start:]
+        with self._lock:
+            start = max(mark - self._journal_base, 0)
+            return self._journal[start:]
 
     def merge(self, delta: Sequence[Tuple[FrozenSet[int], Tuple[Expr, ...], object]]) -> int:
         """Fold another process's exported delta into this cache.
@@ -216,21 +237,33 @@ class ModelCache:
         pool.  Returns the number of entries adopted.
         """
         adopted = 0
-        for fp_key, atoms, result in delta:
-            if fp_key in self._known_fps:
-                continue
-            key = self.key_for(atoms)
-            if not key or key in self._entries:
-                self._known_fps.add(fp_key)
-                if key:
-                    self._fp_of_key.setdefault(key, fp_key)
-                continue
-            self.store(key, dict(result) if isinstance(result, dict) else result,
-                       atoms=atoms)
-            self._merged_keys.add(key)
-            self.merged_stores += 1
-            adopted += 1
+        with self._lock:
+            for fp_key, atoms, result in delta:
+                if fp_key in self._known_fps:
+                    continue
+                key = self.key_for(atoms)
+                if not key or key in self._entries:
+                    self._known_fps.add(fp_key)
+                    if key:
+                        self._fp_of_key.setdefault(key, fp_key)
+                    continue
+                self.store(key, dict(result) if isinstance(result, dict) else result,
+                           atoms=atoms)
+                self._merged_keys.add(key)
+                self.merged_stores += 1
+                adopted += 1
         return adopted
+
+    def mark_persistent(self, fp_keys: Iterable[FrozenSet[int]]) -> None:
+        """Tag fingerprint keys as loaded from a persistent store.
+
+        Hits on entries whose fingerprints are tagged count as
+        ``cross_run_hits`` — reuse carried over from a previous run
+        (possibly another tenant's), as opposed to ``merged_hits``
+        (cross-worker reuse inside one run).
+        """
+        with self._lock:
+            self._persistent_fps.update(fp_keys)
 
     def remember_solution(self, solution: Dict[str, int]) -> None:
         """Keep a model for cross-query counterexample reuse."""
@@ -248,16 +281,18 @@ class ModelCache:
         return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._recent_models.clear()
-        for counter in self._counters.values():
-            counter.value = 0
-        self._g_entries.value = 0
-        self._journal.clear()
-        self._journal_base = 0
-        self._known_fps.clear()
-        self._fp_of_key.clear()
-        self._merged_keys.clear()
+        with self._lock:
+            self._entries.clear()
+            self._recent_models.clear()
+            for counter in self._counters.values():
+                counter.value = 0
+            self._g_entries.value = 0
+            self._journal.clear()
+            self._journal_base = 0
+            self._known_fps.clear()
+            self._fp_of_key.clear()
+            self._merged_keys.clear()
+            self._persistent_fps.clear()
 
     def stats_dict(self) -> Dict[str, int]:
         """Legacy counter-dict view of the ``cache.*`` registry metrics."""
@@ -269,6 +304,120 @@ class ModelCache:
 for _field in _COUNTER_FIELDS:
     setattr(ModelCache, _field, counter_property(_field))
 del _field
+
+
+class PersistentCacheStore:
+    """Disk-backed journal of portable model-cache entries.
+
+    Because cache entries travel as ``(fingerprint key, atom tuple,
+    result)`` and both halves are process-independent — fingerprints are
+    stable blake2b structural digests, atoms re-intern themselves on
+    unpickle — the same journal format that crosses *process* boundaries
+    (PR 4's ``export_delta``/``merge``) can cross *run* boundaries: dump
+    the entries to disk, load and :meth:`ModelCache.merge` them next
+    run, and subset-UNSAT/superset-SAT reuse carries over between runs
+    and between tenants hitting similar targets.
+
+    File format: a sequence of length-prefixed pickled **frames**, each
+    ``(magic, meta, entries)`` — ``meta`` records the writer's
+    provenance (pid and a per-handle sequence number, mirroring the
+    in-memory journal's (pool epoch, pid) keying).  Appends are one
+    frame each, so concurrent runs interleave whole frames; the length
+    prefix makes each frame independently skippable: an unpicklable
+    frame — e.g. atoms that re-declare a symbolic variable under a
+    different domain (a colliding namespace from an unrelated program)
+    — is dropped alone, and only a truncated tail from a crashed writer
+    ends the scan early.
+
+    Reuse stays sound under every failure mode here: a lost or skipped
+    entry only costs a solver query, never an answer — which is why
+    invalidation can be this permissive.
+    """
+
+    MAGIC = "repro-cache/1"
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self._lock = threading.Lock()
+        #: fingerprints this handle has seen (loaded or appended) —
+        #: appends are filtered against it so re-discovered entries do
+        #: not bloat the file across sessions.
+        self._seen_fps: Set[FrozenSet[int]] = set()
+        self._seq = 0
+
+    def load(self) -> List[Tuple[FrozenSet[int], Tuple[Expr, ...], object]]:
+        """Read every loadable frame; entries deduped by fingerprint."""
+        entries: List = []
+        with self._lock:
+            try:
+                fh = open(self.path, "rb")
+            except OSError:
+                return entries
+            with fh:
+                while True:
+                    header = fh.read(8)
+                    if len(header) < 8:
+                        break
+                    blob = fh.read(int.from_bytes(header, "big"))
+                    if len(blob) < int.from_bytes(header, "big"):
+                        break  # truncated tail from a crashed writer
+                    try:
+                        frame = pickle.loads(blob)
+                    except Exception:
+                        continue  # bad frame: skip it, keep scanning
+                    if (
+                        not isinstance(frame, tuple)
+                        or len(frame) != 3
+                        or frame[0] != self.MAGIC
+                    ):
+                        continue
+                    for entry in frame[2]:
+                        fp_key = entry[0]
+                        if fp_key in self._seen_fps:
+                            continue
+                        self._seen_fps.add(fp_key)
+                        entries.append(entry)
+        return entries
+
+    def load_into(self, cache: ModelCache) -> int:
+        """Merge the store into ``cache`` and tag the entries persistent.
+
+        Returns the number of entries adopted; ``cache.persistent_loaded``
+        counts them and hits on them count as ``cache.cross_run_hits``.
+        """
+        entries = self.load()
+        adopted = cache.merge(entries)
+        cache.mark_persistent(entry[0] for entry in entries)
+        cache.persistent_loaded += adopted
+        return adopted
+
+    def append(self, entries: Sequence[Tuple[FrozenSet[int], Tuple[Expr, ...], object]]) -> int:
+        """Append one frame of not-yet-stored entries; returns the count."""
+        with self._lock:
+            fresh = [e for e in entries if e[0] not in self._seen_fps]
+            if not fresh:
+                return 0
+            self._seen_fps.update(e[0] for e in fresh)
+            self._seq += 1
+            meta = {"pid": os.getpid(), "seq": self._seq}
+            blob = pickle.dumps(
+                (self.MAGIC, meta, fresh), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            # One write() per frame: concurrent appenders (two sessions
+            # of the same target closing together) interleave whole
+            # frames, never a header split from its blob.
+            with open(self.path, "ab") as fh:
+                fh.write(len(blob).to_bytes(8, "big") + blob)
+        return len(fresh)
+
+    def append_from(self, cache: ModelCache, mark: int = 0) -> int:
+        """Append ``cache``'s journal entries since ``mark``."""
+        return self.append(cache.export_delta(mark))
+
+    def seen_fps(self) -> FrozenSet[FrozenSet[int]]:
+        """Fingerprint keys this handle has loaded or appended so far."""
+        with self._lock:
+            return frozenset(self._seen_fps)
 
 
 #: Import-compatible alias for the pre-refactor class name ONLY — the
@@ -302,6 +451,7 @@ __all__ = [
     "HIT_SUBSET_UNSAT",
     "HIT_SUPERSET_SAT",
     "ModelCache",
+    "PersistentCacheStore",
     "SolverCache",
     "UNSAT",
     "global_model_cache",

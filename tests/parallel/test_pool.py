@@ -191,3 +191,269 @@ class TestSuffixClassification:
         serial_sigs = {c.hl_path_signature for c in serial.suite.cases}
         parallel_sigs = {c.hl_path_signature for c in parallel.suite.cases}
         assert parallel_sigs == serial_sigs
+
+
+class TestLeaseQueueing:
+    def test_acquire_waits_fifo(self):
+        import threading
+
+        pool = WorkerPool(2)
+        assert pool.try_acquire()
+        order = []
+
+        def waiter(tag):
+            assert pool.acquire(timeout=30.0)
+            order.append(tag)
+            pool.release()
+
+        first = threading.Thread(target=waiter, args=("a",))
+        first.start()
+        time.sleep(0.1)
+        second = threading.Thread(target=waiter, args=("b",))
+        second.start()
+        time.sleep(0.1)
+        pool.release()
+        first.join(timeout=10.0)
+        second.join(timeout=10.0)
+        assert order == ["a", "b"], "lease hand-off must be first-come-first-served"
+        pool.close()
+
+    def test_try_acquire_defers_to_waiters(self):
+        import threading
+
+        pool = WorkerPool(2)
+        assert pool.try_acquire()
+        acquired = threading.Event()
+
+        def waiter():
+            assert pool.acquire(timeout=30.0)
+            acquired.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.1)
+        # Queue-jumping past a blocked waiter would starve it.
+        assert not pool.try_acquire()
+        pool.release()
+        thread.join(timeout=10.0)
+        assert acquired.is_set()
+        pool.release()
+        pool.close()
+
+    def test_acquire_times_out(self):
+        pool = WorkerPool(2)
+        assert pool.try_acquire()
+        assert pool.acquire(timeout=0.1) is False
+        pool.release()
+        pool.close()
+
+    def test_close_releases_waiters(self):
+        import threading
+
+        pool = WorkerPool(2)
+        assert pool.try_acquire()
+        outcome = {}
+
+        def waiter():
+            outcome["acquired"] = pool.acquire(timeout=30.0)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.1)
+        pool.close()
+        thread.join(timeout=10.0)
+        assert outcome["acquired"] is False
+
+
+class TestConcurrentSessions:
+    def test_two_concurrent_sessions_share_pool_and_ship_once(self):
+        """The daemon's common case: interleaved sessions, one warm pool.
+
+        The old ``shared_worker_pool`` fell back to a *transient* pool
+        whenever the shared one was leased, so two interleaved sessions
+        paid full spawn + program-ship cost each; FIFO lease queueing
+        plus round-scoped explorer leases make them alternate rounds on
+        the one pool instead.
+        """
+        import threading
+
+        source = branchy_source(4)
+        sessions = [
+            SymbolicSession.from_program(
+                compile_program(source).program,
+                ChefConfig(time_budget=120.0, workers=2),
+            )
+            for _ in range(2)
+        ]
+        errors = []
+
+        def drive(session):
+            try:
+                session.run()
+            except BaseException as exc:  # surfaces in the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=drive, args=(s,)) for s in sessions]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        assert not errors, errors
+        pool = shared_worker_pool(2)
+        assert pool.spawns == 2, "concurrent sessions must not spawn private pools"
+        assert pool.program_ships == 1, "ship-once must hold across sessions"
+        assert not pool._leased
+        first, second = (session.result for session in sessions)
+        assert first.ll_paths == second.ll_paths == 16
+        first_ids = {
+            (tuple(sorted((k, tuple(v)) for k, v in c.inputs.items())), c.status)
+            for c in first.suite.cases
+        }
+        second_ids = {
+            (tuple(sorted((k, tuple(v)) for k, v in c.inputs.items())), c.status)
+            for c in second.suite.cases
+        }
+        assert first_ids == second_ids
+
+
+class TestCloseEscalation:
+    def test_close_leaves_no_live_children(self):
+        program = compile_program(branchy_source(3)).program
+        pool = WorkerPool(2)
+        pool.configure(program, None, "t", 10_000)
+        procs = list(pool._procs)
+        pool.close()
+        assert all(not proc.is_alive() for proc in procs)
+        assert pool.kills == 0  # polite stop sufficed
+
+    def test_close_escalates_to_kill_for_wedged_worker(self):
+        """A SIGSTOPped worker ignores both the stop message and SIGTERM
+        (it stays pending while the process is stopped); only SIGKILL
+        reaps it.  The old best-effort close left it as a zombie child.
+        """
+        program = compile_program(branchy_source(3)).program
+        pool = WorkerPool(2)
+        pool.configure(program, None, "t", 10_000)
+        procs = list(pool._procs)
+        os.kill(procs[0].pid, signal.SIGSTOP)
+        pool.close(join_timeout=0.5)
+        assert pool.kills >= 1
+        assert all(not proc.is_alive() for proc in procs), (
+            "close() must leave no live children, even wedged ones"
+        )
+
+
+class TestEpochKeyedJournals:
+    def test_stale_epoch_marks_do_not_skip_deltas(self, monkeypatch):
+        """Regression: journal marks are keyed (pool epoch, pid).
+
+        Pids recycle; bare-pid marks surviving a crashed-pool
+        replacement would claim the new pool's workers already merged
+        entries they have never seen, and the delta broadcast would
+        silently skip them.  Marks from a dead epoch must not raise the
+        export base.
+        """
+        from repro.lowlevel.expr import Sym, mk_binop
+        from repro.parallel.snapshot import boot_snapshot
+
+        program = compile_program(branchy_source(3)).program
+        explorer = ParallelExplorer(program, workers=2)
+        explorer.start()
+        pool = shared_worker_pool(2)
+        x = Sym("pm_stale", 0, 255)
+        atom = mk_binop("eq", x, 1)
+        explorer.master_cache.store(
+            explorer.master_cache.key_for([atom]), {x.name: 1}, atoms=[atom]
+        )
+        # Forge sky-high marks under a previous pool's epoch, as left
+        # behind by a crash-then-replace with recycled pids.
+        explorer._pid_marks = {
+            (pool.epoch - 1, 111): 10**9,
+            (pool.epoch - 1, 222): 10**9,
+        }
+        shipped = {}
+        real_run_round = pool.run_round
+
+        def spy(run_id, round_no, chunks, delta):
+            shipped.setdefault("delta", list(delta))
+            return real_run_round(run_id, round_no, chunks, delta)
+
+        monkeypatch.setattr(pool, "run_round", spy)
+        explorer.submit([boot_snapshot(program)])
+        explorer.close()
+        assert len(shipped["delta"]) >= 1, (
+            "stale-epoch marks raised the delta base; replacement-pool "
+            "workers would silently miss cache entries"
+        )
+
+    def test_crash_mid_run_retries_on_replacement_pool(self):
+        """A worker crash mid-run replaces the pool and retries the round.
+
+        The completed path set must be the full exhaustive one — the
+        failed round merged nothing, the retry re-runs it verbatim, and
+        (epoch, pid) keying resets the journal marks for the new pool.
+        """
+        from repro.parallel.coordinator import path_set
+        from repro.parallel.snapshot import boot_snapshot
+
+        program = compile_program(branchy_source(4)).program
+        explorer = ParallelExplorer(program, workers=2)
+        explorer.start()
+        first_pool = shared_worker_pool(2)
+        first_epoch = first_pool.epoch
+        first_procs = list(first_pool._procs)
+        frontier = [boot_snapshot(program)]
+        records = []
+        killed = False
+        while frontier:
+            batch = [frontier.pop() for _ in range(min(len(frontier), 16))]
+            for result in explorer.submit(batch):
+                records.extend(result.records)
+                frontier.extend(result.pending)
+            if not killed:
+                for proc in first_procs:
+                    os.kill(proc.pid, signal.SIGKILL)
+                for proc in first_procs:
+                    proc.join(timeout=10.0)
+                killed = True
+        explorer.close()
+        assert killed
+        replacement = shared_worker_pool(2)
+        assert replacement.epoch != first_epoch
+        assert first_pool.closed or first_pool.broken
+        assert len(records) == 16
+        # All live journal marks belong to the replacement epoch.
+        assert {epoch for (epoch, _pid) in explorer._pid_marks} <= {replacement.epoch}
+        # Identical identities on an undisturbed run.
+        baseline = ParallelExplorer(program, workers=2).explore(max_states=512)
+        assert path_set(records) == baseline.path_set()
+
+
+class TestSessionStreamLifecycle:
+    def test_abandoned_stream_unwinds_and_pool_is_reacquirable(self):
+        """Regression: walking away from ``Session.events()`` mid-stream
+        must deterministically unwind the Chef loop — no lingering pool
+        lease, and the shared pool immediately serves the next session.
+        """
+        from repro.errors import ReproError
+
+        program = compile_program(branchy_source(4)).program
+        session = SymbolicSession.from_program(
+            program, ChefConfig(time_budget=120.0, workers=2)
+        )
+        stream = session.events()
+        next(stream)  # exploration has started (first round merged)
+        stream.close()  # consumer abandons mid-stream
+        pool = shared_worker_pool(2)
+        assert not pool.broken
+        assert pool.try_acquire(), "abandoned stream leaked the pool lease"
+        pool.release()
+        with pytest.raises(ReproError):
+            session.events()  # half-explored session is poisoned
+        follow_up = SymbolicSession.from_program(
+            compile_program(branchy_source(4)).program,
+            ChefConfig(time_budget=120.0, workers=2),
+        )
+        assert follow_up.run().ll_paths == 16
+        assert shared_worker_pool(2) is pool
+        assert pool.spawns == 2, "abandonment must not cost a respawn"

@@ -223,3 +223,107 @@ class TestEvictionPruning:
                 ModelCache.key_for([atom]), {other_xs[i].name: 40 + i}, atoms=[atom]
             )
         assert not target._merged_keys
+
+
+class TestCrossRunCounting:
+    def test_persistent_hits_count_as_cross_run(self):
+        source = ModelCache()
+        atoms, xs = _atoms("mc_t", 1)
+        key = ModelCache.key_for(atoms)
+        source.store(key, {xs[0].name: 40}, atoms=atoms)
+        target = ModelCache()
+        delta = source.export_delta(0)
+        assert target.merge(delta) == 1
+        target.mark_persistent(fp for fp, _atoms, _result in delta)
+        kind, _result = target.lookup(key)
+        assert kind == HIT_EXACT
+        assert target.cross_run_hits == 1
+        assert target.merged_hits == 1  # also cross-worker provenance
+
+    def test_unmarked_merge_hits_are_not_cross_run(self):
+        source = ModelCache()
+        atoms, xs = _atoms("mc_u", 1)
+        key = ModelCache.key_for(atoms)
+        source.store(key, {xs[0].name: 40}, atoms=atoms)
+        target = ModelCache()
+        target.merge(source.export_delta(0))
+        target.lookup(key)
+        assert target.cross_run_hits == 0
+
+    def test_clear_drops_persistent_marks(self):
+        cache = ModelCache()
+        atoms, _ = _atoms("mc_v", 1)
+        cache.mark_persistent([frozenset([1, 2])])
+        cache.clear()
+        assert not cache._persistent_fps
+
+
+class TestPersistentStore:
+    def _store_with_entries(self, tmp_path, prefix, n):
+        from repro.solver.cache import PersistentCacheStore
+
+        cache = ModelCache()
+        atoms, xs = _atoms(prefix, n)
+        for i, atom in enumerate(atoms):
+            cache.store(ModelCache.key_for([atom]), {xs[i].name: 40 + i}, atoms=[atom])
+        store = PersistentCacheStore(tmp_path / "verdicts.cache")
+        assert store.append_from(cache) == n
+        return store, atoms
+
+    def test_roundtrip_across_handles(self, tmp_path):
+        from repro.solver.cache import PersistentCacheStore
+
+        store, atoms = self._store_with_entries(tmp_path, "mc_w", 3)
+        fresh = PersistentCacheStore(store.path)
+        cache = ModelCache()
+        assert fresh.load_into(cache) == 3
+        assert cache.persistent_loaded == 3
+        kind, _result = cache.lookup(ModelCache.key_for([atoms[0]]))
+        assert kind == HIT_EXACT
+        assert cache.cross_run_hits == 1
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        from repro.solver.cache import PersistentCacheStore
+
+        store = PersistentCacheStore(tmp_path / "absent.cache")
+        assert store.load() == []
+        assert store.load_into(ModelCache()) == 0
+
+    def test_append_dedups_by_fingerprint(self, tmp_path):
+        store, _atoms_list = self._store_with_entries(tmp_path, "mc_x", 2)
+        cache = ModelCache()
+        fresh_handle_entries = store.load()  # same handle: already seen
+        assert fresh_handle_entries == []
+        # Re-appending entries the handle has seen writes nothing.
+        source = ModelCache()
+        atoms, xs = _atoms("mc_x", 2)  # same names -> same fingerprints
+        for i, atom in enumerate(atoms):
+            source.store(ModelCache.key_for([atom]), {xs[i].name: 40 + i}, atoms=[atom])
+        assert store.append_from(source) == 0
+
+    def test_corrupt_frame_is_skipped_not_fatal(self, tmp_path):
+        from repro.solver.cache import PersistentCacheStore
+
+        store, atoms = self._store_with_entries(tmp_path, "mc_y", 1)
+        # Splice a well-framed but unpicklable blob between two good frames.
+        garbage = b"not a pickle at all"
+        with open(store.path, "ab") as fh:
+            fh.write(len(garbage).to_bytes(8, "big") + garbage)
+        more = ModelCache()
+        extra_atoms, xs = _atoms("mc_y2", 1)
+        more.store(
+            ModelCache.key_for(extra_atoms), {xs[0].name: 40}, atoms=extra_atoms
+        )
+        late = PersistentCacheStore(store.path)
+        late.append_from(more)
+        fresh = PersistentCacheStore(store.path)
+        assert len(fresh.load()) == 2  # both good frames, garbage skipped
+
+    def test_truncated_tail_ends_scan_cleanly(self, tmp_path):
+        from repro.solver.cache import PersistentCacheStore
+
+        store, atoms = self._store_with_entries(tmp_path, "mc_z", 2)
+        with open(store.path, "ab") as fh:
+            fh.write((10 ** 6).to_bytes(8, "big") + b"short")  # crashed writer
+        fresh = PersistentCacheStore(store.path)
+        assert len(fresh.load()) == 2

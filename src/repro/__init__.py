@@ -37,12 +37,14 @@ paper-vs-measured record.
 from repro.api import (
     BatchMerged,
     BudgetExhausted,
+    CheckpointSaved,
     GuestLanguage,
     MetricsUpdated,
     PathCompleted,
     RunFinished,
     Session,
     SessionEvent,
+    StateQuarantined,
     SymbolicSession,
     TestCaseFound,
     UnknownLanguageError,
@@ -59,6 +61,7 @@ from repro.chef import (
     TestSuite,
 )
 from repro.errors import ReproError
+from repro.faults import FaultPlan
 from repro.interpreters.minilua import MiniLuaEngine
 from repro.interpreters.minipy import MiniPyEngine
 from repro.obs import Telemetry
@@ -69,8 +72,10 @@ __version__ = "1.1.0"
 __all__ = [
     "BatchMerged",
     "BudgetExhausted",
+    "CheckpointSaved",
     "Chef",
     "ChefConfig",
+    "FaultPlan",
     "GuestLanguage",
     "InterpreterBuildOptions",
     "MetricsUpdated",
@@ -82,6 +87,7 @@ __all__ = [
     "RunResult",
     "Session",
     "SessionEvent",
+    "StateQuarantined",
     "SymbolicSession",
     "SymbolicTest",
     "SymbolicTestRunner",

@@ -25,10 +25,12 @@ See the "Public API" section of ``docs/architecture.md``.
 from repro.api.events import (
     BatchMerged,
     BudgetExhausted,
+    CheckpointSaved,
     MetricsUpdated,
     PathCompleted,
     RunFinished,
     SessionEvent,
+    StateQuarantined,
     TestCaseFound,
 )
 from repro.api.language import (
@@ -42,12 +44,14 @@ from repro.api.language import (
 __all__ = [
     "BatchMerged",
     "BudgetExhausted",
+    "CheckpointSaved",
     "GuestLanguage",
     "MetricsUpdated",
     "PathCompleted",
     "RunFinished",
     "Session",
     "SessionEvent",
+    "StateQuarantined",
     "SymbolicSession",
     "TestCaseFound",
     "UnknownLanguageError",

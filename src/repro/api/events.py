@@ -77,6 +77,37 @@ class MetricsUpdated(SessionEvent):
 
 
 @dataclass(frozen=True)
+class StateQuarantined(SessionEvent):
+    """A pending state was quarantined after crashing workers repeatedly.
+
+    Lost-chunk recovery requeues the states a dead worker held; a state
+    that takes a worker down ``quarantine_threshold`` times is dropped
+    from the frontier instead of killing the run, and its coordinates
+    are surfaced here.  ``recovery.quarantined_states`` counts these.
+    """
+
+    #: high-level program counter of the state, if known (else -1).
+    hlpc: int
+    #: number of worker crashes blamed on this state.
+    crashes: int
+
+
+@dataclass(frozen=True)
+class CheckpointSaved(SessionEvent):
+    """A crash-consistent campaign checkpoint was written to disk.
+
+    Emitted once per checkpoint cadence in parallel/serial runs with
+    ``checkpoint_dir`` set; ``checkpoint.saves`` counts them.
+    """
+
+    path: str
+    #: pending frontier states captured in the checkpoint.
+    frontier: int
+    #: completed test cases captured in the checkpoint.
+    cases: int
+
+
+@dataclass(frozen=True)
 class BudgetExhausted(SessionEvent):
     """Exploration stopped because a budget ran out (not frontier drain).
 

@@ -115,6 +115,47 @@ class SymbolicSession:
         return session
 
     @classmethod
+    def resume(
+        cls,
+        path: str,
+        *,
+        workers: Optional[int] = None,
+        worker_pool=None,
+        telemetry=None,
+        **config_overrides,
+    ) -> "SymbolicSession":
+        """Session continuing an interrupted campaign from a checkpoint.
+
+        ``path`` is a checkpoint directory (containing ``campaign.ckpt``)
+        or the checkpoint file itself, as written by a run with
+        ``ChefConfig.checkpoint_dir`` set.  The resumed stream re-emits
+        the checkpointed path events first, then explores the persisted
+        frontier — for exhaustive runs the total event multiset equals
+        the uninterrupted run's.  ``config_overrides`` patch the
+        persisted config (e.g. ``time_budget=30.0``).
+        """
+        import os
+
+        from repro.chef.checkpoint import checkpoint_path
+
+        if os.path.isdir(path):
+            path = checkpoint_path(path)
+        session = cls.__new__(cls)
+        session._init_common(None, workers, None, worker_pool, None, telemetry)
+        if workers is not None:
+            config_overrides["workers"] = workers
+        chef = Chef.from_checkpoint(
+            path,
+            telemetry=telemetry,
+            worker_pool=worker_pool,
+            **config_overrides,
+        )
+        session._chef = chef
+        session.config = chef.config
+        session._program = chef.ll.program
+        return session
+
+    @classmethod
     def for_engine(
         cls,
         engine,

@@ -18,12 +18,15 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.api.events import (
     BatchMerged,
     BudgetExhausted,
+    CheckpointSaved,
     MetricsUpdated,
     PathCompleted,
     RunFinished,
     SessionEvent,
+    StateQuarantined,
     TestCaseFound,
 )
+from repro.faults import make_injector
 from repro.chef.hltree import HighLevelCfg, HighLevelTree
 from repro.chef.options import ChefConfig
 from repro.chef.strategies import make_strategy
@@ -118,15 +121,22 @@ class Chef:
         self.telemetry = (
             telemetry if telemetry is not None else Telemetry(enabled=self.config.trace)
         )
+        self._faults = make_injector(self.config.fault_plan)
         self.solver: SolverBackend = solver if solver is not None else make_default_solver(
-            budget=self.config.solver_budget, telemetry=self.telemetry
+            budget=self.config.solver_budget,
+            telemetry=self.telemetry,
+            deadline_s=self.config.solver_deadline_s,
+            faults=self._faults,
         )
         self.tree = HighLevelTree()
         self.cfg = HighLevelCfg()
         self.ll = LowLevelEngine(
             program,
             solver=self.solver,
-            config=ExecutorConfig(max_instrs_per_path=self.config.path_instr_budget),
+            config=ExecutorConfig(
+                max_instrs_per_path=self.config.path_instr_budget,
+                unknown_policy=self.config.unknown_policy,
+            ),
             telemetry=self.telemetry,
         )
         self.ll.on_log_pc = self._on_log_pc
@@ -142,6 +152,126 @@ class Chef:
         self._ll_paths = 0
         #: session events accumulated since the last stream() flush.
         self._event_buffer: List[SessionEvent] = []
+        #: pending frontier restored from a checkpoint (None = fresh run).
+        self._resume_frontier: Optional[List] = None
+        self._program_blob_cache: Optional[bytes] = None
+
+    # -- checkpoint / resume ----------------------------------------------------
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: str,
+        telemetry: Optional[Telemetry] = None,
+        worker_pool=None,
+        **config_overrides,
+    ) -> "Chef":
+        """Rebuild an interrupted campaign from ``<dir>/campaign.ckpt``.
+
+        The resumed engine re-emits the checkpointed path events at the
+        head of its stream, so for exhaustive runs the resumed stream's
+        path-event multiset equals the uninterrupted run's.
+        ``config_overrides`` patch the persisted :class:`ChefConfig`
+        (e.g. a fresh ``time_budget``).
+        """
+        import dataclasses as _dc
+        import pickle as _pickle
+
+        from repro.chef.checkpoint import load_checkpoint
+
+        ckpt = load_checkpoint(path)
+        config = ckpt.config
+        if config_overrides:
+            config = _dc.replace(config, **config_overrides)
+        program = _pickle.loads(ckpt.program_blob)
+        chef = cls(program, config=config, telemetry=telemetry, worker_pool=worker_pool)
+        chef._seed_from_checkpoint(ckpt)
+        return chef
+
+    def _seed_from_checkpoint(self, ckpt) -> None:
+        """Adopt a loaded :class:`~repro.chef.checkpoint.Checkpoint`."""
+        if ckpt.tree is not None:
+            self.tree = ckpt.tree
+        if ckpt.cfg is not None:
+            self.cfg = ckpt.cfg
+        try:
+            self._rng.setstate(ckpt.rng_state)
+        except (TypeError, ValueError):
+            pass  # fresh seed; selection order shifts, the path set doesn't
+        # The strategy was built against the pre-resume cfg/rng objects.
+        self.strategy = make_strategy(
+            self.config.strategy, self._rng, self.cfg, self.config.fork_weight_p
+        )
+        self.ll.namespace = ckpt.namespace
+        self._ll_paths = ckpt.ll_paths
+        self._timeline = list(ckpt.timeline)
+        self.suite = TestSuite()
+        for case in ckpt.cases:
+            self.suite.add(case)
+            if ckpt.tree is None:
+                # Tree frame was torn off: re-derive recorded-path state
+                # so post-resume new_hl verdicts stay correct.
+                self.tree.record_path(case.hl_path_signature)
+            self._event_buffer.append(PathCompleted(case=case))
+            if case.new_hl_path:
+                self._event_buffer.append(TestCaseFound(case=case))
+        self._resume_frontier = list(ckpt.frontier)
+        registry = self.telemetry.registry
+        registry.counter("checkpoint.resumes").inc()
+        if ckpt.corrupt_frames_skipped:
+            registry.counter("checkpoint.corrupt_frames_skipped").inc(
+                ckpt.corrupt_frames_skipped
+            )
+
+    def _effective_cache_store(self) -> Optional[str]:
+        """Model-cache journal path: explicit store, else checkpoint dir."""
+        if self.config.cache_store:
+            return self.config.cache_store
+        if self.config.checkpoint_dir:
+            import os as _os
+
+            from repro.chef.checkpoint import cache_store_path
+
+            _os.makedirs(self.config.checkpoint_dir, exist_ok=True)
+            return cache_store_path(self.config.checkpoint_dir)
+        return None
+
+    def _program_blob(self) -> bytes:
+        if self._program_blob_cache is None:
+            import pickle as _pickle
+
+            self._program_blob_cache = _pickle.dumps(self.ll.program)
+        return self._program_blob_cache
+
+    def _save_checkpoint(self, frontier_snaps: List) -> None:
+        """Write one crash-consistent checkpoint and emit its event."""
+        from repro.chef.checkpoint import save_checkpoint
+
+        with self.telemetry.span(
+            "chef.checkpoint", frontier=len(frontier_snaps), cases=len(self.suite.cases)
+        ):
+            path = save_checkpoint(
+                self.config.checkpoint_dir,
+                config=self.config,
+                namespace=self.ll.namespace,
+                program_blob=self._program_blob(),
+                rng_state=self._rng.getstate(),
+                ll_paths=self._ll_paths,
+                tree=self.tree,
+                cfg=self.cfg,
+                timeline=self._timeline,
+                cases=self.suite.cases,
+                frontier=frontier_snaps,
+                faults=self._faults,
+            )
+        registry = self.telemetry.registry
+        registry.counter("checkpoint.saves").inc()
+        registry.counter("checkpoint.frontier_states").inc(len(frontier_snaps))
+        self._event_buffer.append(
+            CheckpointSaved(
+                path=path, frontier=len(frontier_snaps), cases=len(self.suite.cases)
+            )
+        )
 
     # -- listener hooks -------------------------------------------------------
 
@@ -255,19 +385,37 @@ class Chef:
         store = None
         store_mark = 0
         cache = getattr(self.solver, "cache", None)
-        if config.cache_store and cache is not None:
+        store_path = self._effective_cache_store()
+        if store_path and cache is not None:
             from repro.solver.cache import PersistentCacheStore
 
-            store = PersistentCacheStore(config.cache_store)
+            store = PersistentCacheStore(store_path, faults=self._faults)
             with telemetry.span("chef.cache_load", path=store.path):
                 store.load_into(cache)
             store_mark = cache.journal_mark()
-        state = self.ll.new_state()
-        for child in self.ll.run_path(state):
-            self.strategy.add(child)
+        if self._resume_frontier is not None:
+            from repro.chef.hltree import HighLevelTree as _Tree
+            from repro.parallel.snapshot import SnapshotDecoder, restore_state
+
+            decoder = SnapshotDecoder()
+            for snap in self._resume_frontier:
+                restored = restore_state(
+                    snap, self.ll.program, self.ll._fresh_sid(), decoder=decoder
+                )
+                restored.meta["dyn_node"] = restored.meta.get(
+                    "tree_node", _Tree.ROOT
+                )
+                self.strategy.add(restored)
+            self._resume_frontier = None
+        else:
+            state = self.ll.new_state()
+            for child in self.ll.run_path(state):
+                self.strategy.add(child)
         yield from self._flush_events()
         exhausted: Optional[str] = None
         metrics_emitted = 0
+        ckpt_last = self._ll_paths
+        ckpt_every = max(config.checkpoint_every, 1)
         sample_every = max(config.sample_every, 1)
         while True:
             exhausted = self._budget_reason()
@@ -285,6 +433,11 @@ class Chef:
             if self._ll_paths - metrics_emitted >= sample_every:
                 metrics_emitted = self._ll_paths
                 yield MetricsUpdated(metrics=telemetry.metrics())
+            if config.checkpoint_dir and self._ll_paths - ckpt_last >= ckpt_every:
+                ckpt_last = self._ll_paths
+                yield from self._checkpoint_serial(store, cache, store_mark)
+                if store is not None:
+                    store_mark = cache.journal_mark()
         if exhausted is not None:
             yield BudgetExhausted(reason=exhausted)
         if store is not None:
@@ -315,6 +468,27 @@ class Chef:
         events, self._event_buffer = self._event_buffer, []
         return events
 
+    def _checkpoint_serial(self, store, cache, store_mark: int):
+        """Serial-mode checkpoint: snapshot the live frontier and persist.
+
+        The strategy is drained and re-fed (selection RNG advances, so
+        post-checkpoint exploration *order* can differ from a
+        checkpoint-free run; exhaustive path sets do not).
+        """
+        from repro.chef.hltree import HighLevelTree as _Tree
+        from repro.parallel.snapshot import snapshot_states
+
+        if store is not None:
+            store.append_from(cache, store_mark)
+        states = self.strategy.drain()
+        for live in states:
+            live.meta["tree_node"] = live.meta.get("dyn_node", _Tree.ROOT)
+        snaps = snapshot_states(states) if states else []
+        self._save_checkpoint(snaps)
+        for live in states:
+            self.strategy.add(live)
+        return self._flush_events()
+
     # -- parallel mode ---------------------------------------------------------
 
     def _stream_parallel(self) -> Iterator[SessionEvent]:
@@ -344,7 +518,9 @@ class Chef:
         self._start_time = time.monotonic()
         deadline = self._start_time + config.time_budget
         exec_config = ExecutorConfig(
-            max_instrs_per_path=config.path_instr_budget, deadline=deadline
+            max_instrs_per_path=config.path_instr_budget,
+            deadline=deadline,
+            unknown_policy=config.unknown_policy,
         )
         solver_budget = getattr(self.ll.solver, "budget", None)
         if solver_budget is None:
@@ -359,22 +535,45 @@ class Chef:
             trace_hlpc=True,
             telemetry=self.telemetry,
             pool=self.worker_pool,
-            cache_store=config.cache_store,
+            cache_store=self._effective_cache_store(),
+            solver_deadline_s=config.solver_deadline_s,
+            fault_plan=config.fault_plan,
+            quarantine_threshold=config.quarantine_threshold,
         )
         explorer.on_merge = lambda chunk_index, result: self._merge_chunk(
             explorer.batches, chunk_index, result
         )
+        explorer.on_quarantine = lambda snap, crashes: self._event_buffer.append(
+            StateQuarantined(
+                hlpc=snap.meta.get("static_hlpc", -1), crashes=crashes
+            )
+        )
         exhausted: Optional[str] = None
+        ckpt_every = max(config.checkpoint_every, 1)
+        rounds = 0
         with explorer:
-            batch = [boot_snapshot(self.ll.program)]
+            if self._resume_frontier is not None:
+                batch = list(self._resume_frontier)
+                self._resume_frontier = None
+            else:
+                batch = [boot_snapshot(self.ll.program)]
             while batch:
                 explorer.submit(batch)
+                rounds += 1
                 yield from self._flush_events()
                 yield MetricsUpdated(metrics=explorer.merged_metrics())
+                if config.checkpoint_dir and rounds % ckpt_every == 0:
+                    explorer.flush_cache_store()
+                    handles = self.strategy.drain()
+                    self._save_checkpoint([h.snapshot for h in handles])
+                    for handle in handles:
+                        self.strategy.add(handle)
+                    yield from self._flush_events()
                 exhausted = self._budget_reason()
                 if exhausted is not None:
                     break
                 batch = self._pop_pending_batch(config.workers * config.worker_batch)
+        yield from self._flush_events()
         if exhausted is not None:
             yield BudgetExhausted(reason=exhausted)
         duration = time.monotonic() - self._start_time

@@ -114,5 +114,24 @@ class ChefConfig:
     #: require a deterministic symbolic namespace — fingerprints embed
     #: variable names (the service derives one from the program digest).
     cache_store: Optional[str] = None
+    #: directory for crash-consistent campaign checkpoints (None = off).
+    #: A SIGKILLed run resumes from ``<dir>/campaign.ckpt`` via
+    #: ``Session.resume`` and completes the identical path multiset.
+    checkpoint_dir: Optional[str] = None
+    #: checkpoint cadence, in completed frontier rounds/paths.
+    checkpoint_every: int = 4
+    #: per-query wall-clock solver deadline in seconds (None = no
+    #: deadline).  An over-deadline query returns *unknown* instead of
+    #: hanging the run; counted under ``solver.deadline_unknowns``.
+    solver_deadline_s: Optional[float] = None
+    #: what to do with a pending state whose feasibility check came back
+    #: unknown: "prune" drops it (sound for coverage, may miss paths),
+    #: "feasible" optimistically activates it under its seed assignment.
+    unknown_policy: str = "prune"
+    #: deterministic fault-injection plan (:class:`repro.faults.FaultPlan`)
+    #: for chaos tests; None or a no-op plan costs nothing.
+    fault_plan: Optional[object] = None
+    #: worker crashes blamed on one state before it is quarantined.
+    quarantine_threshold: int = 3
     #: extra metadata carried into results (benchmarks stamp configs here).
     tags: Optional[Dict[str, str]] = None

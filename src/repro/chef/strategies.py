@@ -33,6 +33,20 @@ class SearchStrategy:
     def __len__(self) -> int:
         raise NotImplementedError
 
+    def drain(self) -> list:
+        """Remove and return every pending item (checkpoint capture).
+
+        Selection order is strategy/RNG dependent; callers that need the
+        frontier to survive re-``add`` each item afterwards.
+        """
+        items = []
+        while True:
+            item = self.select()
+            if item is None:
+                break
+            items.append(item)
+        return items
+
 
 class RandomStrategy(SearchStrategy):
     """Uniformly random selection over all pending states."""

@@ -23,6 +23,17 @@ class SolverTimeout(SolverError):
     """
 
 
+class SolverDeadline(SolverTimeout):
+    """Raised when a solver query exceeds its wall-clock deadline.
+
+    A subclass of :class:`SolverTimeout` so every existing handler
+    degrades it to ``unknown``; kept distinct so deadline expiries are
+    counted separately (``solver.deadline_unknowns``) from step-budget
+    exhaustion — a wedged backend and a hard query are different
+    operational problems.
+    """
+
+
 class MachineError(ReproError):
     """Raised for faults inside the low-level virtual machine (LVM)."""
 

@@ -108,6 +108,12 @@ class ExecutorConfig:
     #: optional wall-clock deadline (time.monotonic()); paths running past
     #: it stop with Status.DEADLINE and are not turned into test cases.
     deadline: Optional[float] = None
+    #: policy for pending states whose feasibility check returns unknown
+    #: (solver deadline/budget): "prune" discards the state, "feasible"
+    #: optimistically activates it under its seed assignment — the seed
+    #: satisfied every constraint up to the last fork, so the replayed
+    #: prefix is real even if the final branch is unproven.
+    unknown_policy: str = "prune"
 
 
 class State:
@@ -216,6 +222,7 @@ _ENGINE_STAT_FIELDS = (
     "states_activated",
     "states_infeasible",
     "states_timeout",
+    "states_unknown_adopted",
     "events",
 )
 
@@ -349,6 +356,16 @@ class LowLevelEngine:
             state.path_condition, hint=state.seed_assignment
         )
         if result.is_unknown:
+            if self.config.unknown_policy == "feasible":
+                # Graceful degradation: adopt the seed assignment and
+                # keep exploring rather than losing the whole subtree to
+                # one wedged query.
+                state.assignment = dict(state.seed_assignment)
+                state.pending = False
+                state._conc_memo = {}
+                self.stats.states_activated += 1
+                self.stats.states_unknown_adopted += 1
+                return "sat"
             state.pending = False
             state.machine.status = Status.SOLVER_TIMEOUT
             self.stats.states_timeout += 1

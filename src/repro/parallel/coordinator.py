@@ -25,12 +25,24 @@ round detects it (``pool.active_run_id``) and re-broadcasts its own
 spec under its original run id: worker engines were rebuilt, so the
 explorer folds its cumulative per-worker metric slices into a base
 accumulator, drops its journal high-water marks (the full cache delta
-re-ships — sound, the entries dedup by fingerprint), and continues.  A
-crashed worker fails the round fast with
-:class:`~repro.parallel.pool.WorkerCrashError`; for registry-shared
-pools the round retries once on the replacement pool (safe: results
-merge strictly after a full round collects, so a failed round has
-merged nothing), while caller-owned pools fail through to the caller.
+re-ships — sound, the entries dedup by fingerprint), and continues.
+
+Crash handling is **lost-chunk recovery**, not round abort: a dead
+worker raises :class:`~repro.parallel.pool.WorkerCrashError` carrying
+the chunk results the pool had already collected; those are folded
+exactly once (keyed by the dead pool's epoch, *before* the replacement
+pool reconfigures, so ``merged_metrics`` never double-counts a slice),
+and only the chunks still outstanding are requeued on the replacement
+pool — as singleton per-state work items, so a state that keeps
+killing workers can only take down the chunk it is alone in.  States
+that crash ``quarantine_threshold`` workers are quarantined (surfaced
+through ``on_quarantine`` and the ``recovery.quarantined_states``
+counter) instead of killing the run; ``recovery.worker_crashes`` and
+``recovery.requeued_chunks`` count the rest of the story.  Results are
+reassembled per *original* chunk in original chunk order before
+``on_merge`` fires, so the merged record stream — and therefore the
+session's path-event multiset — is identical to an uninjected run.
+Caller-owned pools still fail through to the caller.
 
 High-water marks and metric slices are keyed by **(pool epoch, pid)**,
 never bare pid: pids are recycled by the OS, and a replacement pool
@@ -215,6 +227,9 @@ class ParallelExplorer:
         pool: Optional[WorkerPool] = None,
         steal_factor: int = 4,
         cache_store: Optional[str] = None,
+        solver_deadline_s: Optional[float] = None,
+        fault_plan=None,
+        quarantine_threshold: int = 3,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -275,9 +290,26 @@ class ParallelExplorer:
         #: the live _latest_by_pid slices.
         self._metric_bases: List[Dict] = []
         self._states_base = 0
+        #: per-query wall-clock deadline shipped to worker solvers.
+        self.solver_deadline_s = solver_deadline_s
+        #: chaos-test fault schedule shipped in the configure spec
+        #: (workers rebuild their injector from it); None in production.
+        self.fault_plan = fault_plan
+        #: crashes a single state may cause before it is quarantined.
+        self.quarantine_threshold = max(1, quarantine_threshold)
+        #: hook ``(snapshot, crash_count) -> None`` fired when a state is
+        #: quarantined; the Chef engine surfaces it as a typed event.
+        self.on_quarantine = None
         #: optional disk-backed cache store: loaded on start(), appended
         #: on close(); carries component verdicts across runs/tenants.
-        self._store = PersistentCacheStore(cache_store) if cache_store else None
+        faults = None
+        if fault_plan is not None:
+            from repro.faults import make_injector
+
+            faults = make_injector(fault_plan)
+        self._store = (
+            PersistentCacheStore(cache_store, faults=faults) if cache_store else None
+        )
         self._persistent_fps: FrozenSet = frozenset()
         self._store_mark = 0
         self.batches = 0
@@ -326,6 +358,19 @@ class ParallelExplorer:
             raise
         self._release_round(pool)
         return self
+
+    def flush_cache_store(self) -> None:
+        """Append newly discovered entries to the store mid-run.
+
+        Called at checkpoint cadence so a SIGKILLed run loses at most
+        one checkpoint interval of solver verdicts; frame-level dedup in
+        the store makes overlapping flushes harmless.
+        """
+        if self._store is None:
+            return
+        with self._tele.span("parallel.cache_flush", path=self._store.path):
+            self._store.append_from(self.master_cache, self._store_mark)
+        self._store_mark = self.master_cache.journal_mark()
 
     def close(self) -> None:
         """End the run and flush newly discovered entries to the store.
@@ -396,6 +441,8 @@ class ParallelExplorer:
             trace=self.telemetry.enabled,
             persistent_fps=self._persistent_fps or None,
             run_id=self._run_id,
+            solver_deadline_s=self.solver_deadline_s,
+            fault_plan=self.fault_plan,
         )
         self._pool_epoch = pool.epoch
         registry = self.telemetry.registry
@@ -426,13 +473,20 @@ class ParallelExplorer:
 
         The batch splits into contiguous chunks fed through the shared
         task queue (work stealing); results come back in chunk order
-        regardless of which worker ran which chunk, and worker cache
-        deltas are folded into the master cache in that same order.
+        regardless of which worker ran which chunk.  A worker crash
+        does not abort the round: the already-collected chunk results
+        are folded exactly once, the lost positions are requeued on the
+        replacement pool as singleton per-state items, repeat-offender
+        states are quarantined, and the surviving results are
+        reassembled per *original* chunk — so ``on_merge`` still fires
+        in original chunk order and the merged stream matches an
+        uninjected run.
         """
         if not self._started:
             raise RuntimeError("ParallelExplorer pool is not started")
         if not snapshots:
             return []
+        round_no = self.batches
         chunk_count = min(len(snapshots), self.workers * self.steal_factor)
         base, extra = divmod(len(snapshots), chunk_count)
         chunks = []
@@ -441,19 +495,37 @@ class ParallelExplorer:
             size = base + (1 if index < extra else 0)
             chunks.append(snapshots[start : start + size])
             start += size
-        retried = False
-        while True:
+        # Work items, keyed by a never-reused wire position:
+        # (original chunk, state offset inside it, requeue attempt, states).
+        outstanding: Dict[int, Tuple[int, int, int, List[StateSnapshot]]] = {}
+        item_of: Dict[int, Tuple[int, int, int, List[StateSnapshot]]] = {}
+        next_position = 0
+        for orig, chunk in enumerate(chunks):
+            outstanding[next_position] = item_of[next_position] = (orig, 0, 0, chunk)
+            next_position += 1
+        collected: Dict[int, WorkerResult] = {}
+        #: crashes blamed on each in-flight state (by snapshot identity,
+        #: scoped to this round — snapshots live until the round merges).
+        crash_counts: Dict[int, int] = {}
+        registry = self.telemetry.registry
+        configure_failures = 0
+        while outstanding:
             # Lease per round: the pool is free for other sessions the
             # moment our results are collected, and FIFO acquisition
             # makes the interleaving round-robin fair.
             try:
                 pool = self._acquire_round()
             except WorkerCrashError:
-                if self._external_pool is not None or retried:
+                if self._external_pool is not None:
                     raise
-                retried = True  # registry hands out a replacement pool
-                continue
+                configure_failures += 1
+                if configure_failures > 4:
+                    raise  # replacement pools keep dying at configure
+                continue  # registry hands out a replacement pool
+            configure_failures = 0
             epoch = pool.epoch
+            crashed: Optional[WorkerCrashError] = None
+            positions = sorted(outstanding)
             try:
                 marks = [
                     mark
@@ -468,46 +540,122 @@ class ParallelExplorer:
                 round_mark = self.master_cache.journal_mark()
                 with self._tele.span(
                     "parallel.ship",
-                    round=self.batches,
-                    states=len(snapshots),
-                    chunks=len(chunks),
+                    round=round_no,
+                    states=sum(len(outstanding[p][3]) for p in positions),
+                    chunks=len(positions),
                     delta=len(delta),
                 ):
-                    results = pool.run_round(self._run_id, self.batches, chunks, delta)
-            except WorkerCrashError:
-                # Results merge strictly after a full round collects, so
-                # nothing of the failed round landed anywhere: safe to
-                # retry the identical round once on a replacement pool
-                # (caller-owned pools fail through to the caller).
-                if self._external_pool is not None or retried:
-                    raise
-                retried = True
-                continue
+                    results = pool.run_round(
+                        self._run_id,
+                        round_no,
+                        [outstanding[p][3] for p in positions],
+                        delta,
+                        positions=positions,
+                        fault_keys=[
+                            (round_no, outstanding[p][0], outstanding[p][2])
+                            for p in positions
+                        ],
+                    )
+            except WorkerCrashError as exc:
+                crashed = exc
             finally:
                 self._release_round(pool)
-            break
-        for chunk_index, result in enumerate(results):
+            if crashed is None:
+                for position, result in zip(positions, results):
+                    # This worker merged [base_mark, round_mark) on top
+                    # of its own previous mark (>= base_mark), so it
+                    # holds the full prefix now.
+                    self._fold_result(epoch, result, round_mark)
+                    collected[position] = result
+                    del outstanding[position]
+                continue
+            # -- lost-chunk recovery ------------------------------------
+            # Fold whatever the dead pool delivered before breaking,
+            # keyed by the *dead* epoch and before the replacement pool
+            # reconfigures (which folds these slices into the metric
+            # bases exactly once).
+            for position, result in sorted(crashed.partial.items()):
+                if position not in outstanding:
+                    continue
+                self._fold_result(epoch, result, round_mark)
+                collected[position] = result
+                del outstanding[position]
+            if self._external_pool is not None:
+                raise crashed
+            registry.counter("recovery.worker_crashes").inc()
+            if not outstanding:
+                continue
+            # Blame every state of every lost chunk, quarantine repeat
+            # offenders, and requeue the survivors as singleton items
+            # under their original (round, chunk) coordinates — a state
+            # that keeps killing workers only ever takes itself down.
+            requeued = 0
+            for position in sorted(outstanding):
+                orig, offset, attempt, snaps = outstanding.pop(position)
+                for j, snap in enumerate(snaps):
+                    count = crash_counts.get(id(snap), 0) + 1
+                    crash_counts[id(snap)] = count
+                    if count >= self.quarantine_threshold:
+                        registry.counter("recovery.quarantined_states").inc()
+                        if self.on_quarantine is not None:
+                            self.on_quarantine(snap, count)
+                        continue
+                    item = (orig, offset + j, attempt + 1, [snap])
+                    outstanding[next_position] = item_of[next_position] = item
+                    next_position += 1
+                    requeued += 1
+            registry.counter("recovery.requeued_chunks").inc(requeued)
+        # -- deterministic reassembly & merge ------------------------------
+        by_orig: Dict[int, List[Tuple[int, WorkerResult]]] = {}
+        for position, result in collected.items():
+            orig, offset, _attempt, _snaps = item_of[position]
+            by_orig.setdefault(orig, []).append((offset, result))
+        merged_results: List[WorkerResult] = []
+        for orig in range(chunk_count):
+            parts = sorted(by_orig.get(orig, ()), key=lambda part: part[0])
+            if len(parts) == 1:
+                combined = parts[0][1]
+            elif not parts:
+                combined = WorkerResult(pid=0)  # every state quarantined
+            else:
+                combined = WorkerResult(
+                    pid=parts[-1][1].pid,
+                    records=[r for _, res in parts for r in res.records],
+                    pending=[s for _, res in parts for s in res.pending],
+                    verdicts=tuple(
+                        v for _, res in parts for v in res.verdicts
+                    ),
+                )
             with self._tele.span(
                 "parallel.merge",
-                round=self.batches,
-                chunk=chunk_index,
-                records=len(result.records),
-                pending=len(result.pending),
+                round=round_no,
+                chunk=orig,
+                records=len(combined.records),
+                pending=len(combined.pending),
             ):
-                self.master_cache.merge(result.cache_delta)
-                self._latest_by_pid[(epoch, result.pid)] = _WorkerSlice(
-                    metrics=result.metrics,
-                    states_created=result.states_created,
-                )
-                self.telemetry.extend_events(result.trace_events)
-                # This worker merged [base_mark, round_mark) on top of its
-                # own previous mark (>= base_mark), so it holds the full
-                # prefix now.
-                self._pid_marks[(epoch, result.pid)] = round_mark
                 if self.on_merge is not None:
-                    self.on_merge(chunk_index, result)
+                    self.on_merge(orig, combined)
+            merged_results.append(combined)
         self.batches += 1
-        return results
+        return merged_results
+
+    def _fold_result(self, epoch: int, result: WorkerResult, round_mark: int) -> None:
+        """Fold one collected chunk result into coordinator state.
+
+        Exactly-once by construction: each wire position is collected at
+        most once, cumulative metric slices overwrite by (epoch, pid)
+        with the newest snapshot, and slices of epochs that died are
+        moved to the base accumulator only when the replacement pool is
+        configured (``_fold_metric_slices``).
+        """
+        self.master_cache.merge(result.cache_delta)
+        self._latest_by_pid[(epoch, result.pid)] = _WorkerSlice(
+            metrics=result.metrics,
+            states_created=result.states_created,
+        )
+        self.telemetry.extend_events(result.trace_events)
+        self._pid_marks[(epoch, result.pid)] = round_mark
+
 
     # -- high-level exhaustive exploration ------------------------------------
 

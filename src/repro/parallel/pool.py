@@ -89,7 +89,18 @@ _RUN_ID_COUNTER = itertools.count(1)
 
 
 class WorkerCrashError(RuntimeError):
-    """A worker process died or raised; the pool is broken (fail-fast)."""
+    """A worker process died or raised; the pool is broken (fail-fast).
+
+    ``partial`` maps task position → already-collected
+    :class:`~repro.parallel.worker.WorkerResult` for the round that
+    crashed — everything the pool received before noticing the death.
+    Lost-chunk recovery folds these exactly once and requeues only the
+    positions that are missing.
+    """
+
+    def __init__(self, *args):
+        super().__init__(*args)
+        self.partial: Dict[int, object] = {}
 
 
 class WorkerPool:
@@ -308,6 +319,8 @@ class WorkerPool:
         trace: bool = False,
         persistent_fps: Optional[frozenset] = None,
         run_id: Optional[int] = None,
+        solver_deadline_s: Optional[float] = None,
+        fault_plan=None,
     ) -> int:
         """Broadcast a run spec to every worker and wait for the acks.
 
@@ -338,6 +351,8 @@ class WorkerPool:
             "trace_hlpc": trace_hlpc,
             "trace": trace,
             "persistent_fps": persistent_fps,
+            "solver_deadline_s": solver_deadline_s,
+            "fault_plan": fault_plan,
         }
         for ctrl_q in self._ctrl_qs:
             ctrl_q.put(("configure", spec))
@@ -347,7 +362,15 @@ class WorkerPool:
         self.active_run_id = run_id
         return run_id
 
-    def run_round(self, run_id: int, round_no: int, chunks: List, delta) -> List:
+    def run_round(
+        self,
+        run_id: int,
+        round_no: int,
+        chunks: List,
+        delta,
+        positions: Optional[List[int]] = None,
+        fault_keys: Optional[List] = None,
+    ) -> List:
         """Run one round of chunks across the pool; results in chunk order.
 
         Chunks go through the one shared task queue (work stealing);
@@ -355,14 +378,27 @@ class WorkerPool:
         inside every chunk task — workers merge it once per round and
         skip the copies, so correctness never depends on cross-queue
         ordering.  Raises :class:`WorkerCrashError` if any worker dies
-        or reports an exception mid-round.
+        or reports an exception mid-round; the error carries the
+        already-collected results as ``partial`` (position → result) so
+        the coordinator can recover the lost positions only.
+
+        ``positions`` relabels the chunks (defaults to 0..n-1) — lost-
+        chunk recovery uses it to requeue survivors under their original
+        coordinates; ``fault_keys`` rides one opaque key per chunk to
+        the chaos-test injector in the workers.
         """
         if not self._procs:
             raise RuntimeError("WorkerPool is not started (configure first)")
-        for chunk_index, chunk in enumerate(chunks):
-            self._task_q.put(("chunk", run_id, round_no, chunk_index, chunk, delta))
+        if positions is None:
+            positions = list(range(len(chunks)))
+        if fault_keys is None:
+            fault_keys = [None] * len(chunks)
+        for position, chunk, fault_key in zip(positions, chunks, fault_keys):
+            self._task_q.put(
+                ("chunk", run_id, round_no, position, chunk, delta, fault_key)
+            )
         messages = self._collect(run_id, "result", len(chunks))
-        messages.sort(key=lambda msg: msg[2])  # (kind, run_id, chunk_index, result)
+        messages.sort(key=lambda msg: msg[2])  # (kind, run_id, position, result)
         return [msg[3] for msg in messages]
 
     def _collect(self, run_id: int, want: str, count: int) -> List:
@@ -370,27 +406,44 @@ class WorkerPool:
 
         Messages from other run ids (abandoned rounds on a reused pool)
         are discarded; a worker-reported error or a dead process raises
-        :class:`WorkerCrashError` and marks the pool broken.
+        :class:`WorkerCrashError` and marks the pool broken.  The raised
+        error carries every already-collected ``result`` message as
+        ``partial`` (position → result) so lost-chunk recovery can fold
+        the survivors exactly once and requeue only what is missing.
         """
         messages: List = []
+
+        def crash(description: str) -> WorkerCrashError:
+            self.broken = True
+            error = WorkerCrashError(description)
+            if want == "result":
+                # Salvage stragglers already sitting in the queue —
+                # completed chunks a surviving worker delivered between
+                # the death and our noticing it.
+                while True:
+                    try:
+                        msg = self._result_q.get_nowait()
+                    except _queue.Empty:
+                        break
+                    if msg[0] == want and msg[1] == run_id:
+                        messages.append(msg)
+                error.partial = {msg[2]: msg[3] for msg in messages}
+            return error
+
         while len(messages) < count:
             try:
                 msg = self._result_q.get(timeout=_POLL)
             except _queue.Empty:
                 dead = [proc.pid for proc in self._procs if not proc.is_alive()]
                 if dead:
-                    self.broken = True
-                    raise WorkerCrashError(
+                    raise crash(
                         f"worker process(es) {dead} died while the pool waited "
                         f"for {want!r} messages ({len(messages)}/{count} received)"
                     )
                 continue
             kind = msg[0]
             if kind == "error" and msg[1] == run_id:
-                self.broken = True
-                raise WorkerCrashError(
-                    f"worker {msg[2]} raised during {want!r}:\n{msg[3]}"
-                )
+                raise crash(f"worker {msg[2]} raised during {want!r}:\n{msg[3]}")
             if kind != want or msg[1] != run_id:
                 continue  # stale message from an earlier configuration
             messages.append(msg)

@@ -72,6 +72,11 @@ _ROUND_MERGED = -1
 #: what makes the Program ship once per pool instead of once per run.
 _PROGRAM_CACHE: Dict[str, Program] = {}
 
+#: per-process chaos-test injector (None in production); rebuilt per
+#: configure from the spec's fault plan so injection state resets with
+#: the engine.
+_FAULTS = None
+
 
 @dataclass
 class WorkerResult:
@@ -104,11 +109,13 @@ def configure_worker(spec: Dict) -> None:
     comes from the digest cache; a ``program_blob`` in the spec
     populates it first.
     """
-    global _ENGINE, _RESTORED, _RUN_ID, _ROUND_MERGED
+    global _ENGINE, _RESTORED, _RUN_ID, _ROUND_MERGED, _FAULTS
+    from repro.faults import make_injector
     from repro.lowlevel.expr import Sym, clear_intern_cache
 
     clear_intern_cache()
     Sym.reset_registry()
+    _FAULTS = make_injector(spec.get("fault_plan"))
     digest = spec["program_digest"]
     blob = spec["program_blob"]
     if blob is not None:
@@ -128,6 +135,8 @@ def configure_worker(spec: Dict) -> None:
             budget=spec["solver_budget"],
             cache=cache,
             telemetry=telemetry,
+            deadline_s=spec.get("solver_deadline_s"),
+            faults=_FAULTS,
         ),
         config=spec["exec_config"],
         telemetry=telemetry,
@@ -258,11 +267,13 @@ def _pool_worker_main(worker_index: int, ctrl_q, task_q, result_q) -> None:
             task = task_q.get(timeout=0.05)
         except _queue.Empty:
             continue
-        _kind, run_id, round_no, chunk_index, snapshots, delta = task
+        _kind, run_id, round_no, position, snapshots, delta, fault_key = task
         if run_id != _RUN_ID:
             continue  # stale task from an abandoned round
+        if _FAULTS is not None and _FAULTS.should_kill_task(fault_key):
+            _FAULTS.kill_self()  # SIGKILL: no cleanup, no goodbye
         try:
             result = run_chunk(snapshots, delta, round_no)
-            result_q.put(("result", run_id, chunk_index, result))
+            result_q.put(("result", run_id, position, result))
         except Exception:
             result_q.put(("error", run_id, worker_index, traceback.format_exc()))

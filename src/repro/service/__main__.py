@@ -4,6 +4,7 @@ Subcommands::
 
     serve     start the daemon on a Unix socket
     run       submit one session and stream its events as JSON lines
+    resume    continue a checkpointed campaign (daemon-local checkpoint)
     stats     print service metrics + shared-pool counters
     ping      liveness check
     shutdown  stop the daemon
@@ -41,6 +42,9 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-ll-paths", type=int, default=10_000)
     serve.add_argument("--cache-dir", default=None,
                        help="persistent model-cache store directory")
+    serve.add_argument("--max-solver-deadline", type=float, default=None,
+                       help="per-query solver deadline ceiling, seconds "
+                            "(wedged queries degrade to unknown)")
     serve.add_argument("--trace", action="store_true",
                        help="record per-session Chrome-trace lanes")
 
@@ -56,8 +60,23 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--time-budget", type=float, default=None)
     run.add_argument("--max-ll-paths", type=int, default=None)
     run.add_argument("--max-hl-paths", type=int, default=None)
+    run.add_argument("--solver-deadline", type=float, default=None,
+                     help="per-query solver deadline, seconds")
+    run.add_argument("--checkpoint-dir", default=None,
+                     help="daemon-local checkpoint directory for this run")
     run.add_argument("--quiet", action="store_true",
                      help="print only the final RunFinished result")
+
+    resume = sub.add_parser(
+        "resume", help="continue a checkpointed campaign, stream events"
+    )
+    resume.add_argument("--socket", required=True)
+    resume.add_argument("--checkpoint", required=True,
+                        help="daemon-local checkpoint directory or file")
+    resume.add_argument("--time-budget", type=float, default=None)
+    resume.add_argument("--max-ll-paths", type=int, default=None)
+    resume.add_argument("--quiet", action="store_true",
+                        help="print only the final RunFinished result")
 
     for name, help_text in (
         ("stats", "print service metrics"),
@@ -66,6 +85,15 @@ def _build_parser() -> argparse.ArgumentParser:
     ):
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--socket", required=True)
+    for streaming in (run, resume):
+        streaming.add_argument(
+            "--retries", type=int, default=0,
+            help="transient-failure retries with exponential backoff",
+        )
+        streaming.add_argument(
+            "--timeout", type=float, default=300.0,
+            help="per-socket-operation timeout, seconds",
+        )
     return parser
 
 
@@ -78,6 +106,7 @@ def _cmd_serve(args) -> int:
             max_time_budget=args.max_time_budget,
             max_ll_paths=args.max_ll_paths,
             cache_dir=args.cache_dir,
+            max_solver_deadline_s=args.max_solver_deadline,
             trace=args.trace,
         )
     )
@@ -88,12 +117,28 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _streaming_client(args) -> ServiceClient:
+    return ServiceClient(args.socket, timeout=args.timeout, retries=args.retries)
+
+
+def _print_stream(args, client: ServiceClient, **kwargs) -> int:
+    for event in client.run_events(**kwargs):
+        if not args.quiet or event.get("event") == "RunFinished":
+            json.dump(event, sys.stdout)
+            sys.stdout.write("\n")
+    return 0
+
+
 def _cmd_run(args) -> int:
     config = {}
     for field_name in ("strategy", "seed", "time_budget", "max_ll_paths", "max_hl_paths"):
         value = getattr(args, field_name)
         if value is not None:
             config[field_name] = value
+    if args.solver_deadline is not None:
+        config["solver_deadline_s"] = args.solver_deadline
+    if args.checkpoint_dir is not None:
+        config["checkpoint_dir"] = args.checkpoint_dir
     kwargs = {"config": config}
     if args.clay_file:
         with open(args.clay_file, "r", encoding="utf-8") as fh:
@@ -108,12 +153,18 @@ def _cmd_run(args) -> int:
                 kwargs["source"] = fh.read()
         else:
             kwargs["source"] = args.source
-    client = ServiceClient(args.socket)
-    for event in client.run_events(**kwargs):
-        if not args.quiet or event.get("event") == "RunFinished":
-            json.dump(event, sys.stdout)
-            sys.stdout.write("\n")
-    return 0
+    return _print_stream(args, _streaming_client(args), **kwargs)
+
+
+def _cmd_resume(args) -> int:
+    config = {}
+    for field_name in ("time_budget", "max_ll_paths"):
+        value = getattr(args, field_name)
+        if value is not None:
+            config[field_name] = value
+    return _print_stream(
+        args, _streaming_client(args), resume=args.checkpoint, config=config
+    )
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -123,6 +174,8 @@ def main(argv: Optional[list] = None) -> int:
             return _cmd_serve(args)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "resume":
+            return _cmd_resume(args)
         client = ServiceClient(args.socket)
         reply = getattr(client, args.command)()
         json.dump(reply, sys.stdout, indent=2, default=str)

@@ -72,6 +72,14 @@ class ServiceConfig:
     cache_dir: Optional[str] = None
     #: record tracing spans (per-session Chrome-trace lanes).
     trace: bool = False
+    #: ceiling for per-session solver query deadlines, seconds.  When
+    #: set, every session runs with a deadline of at most this (requests
+    #: may ask for a shorter one); wedged queries degrade to *unknown*
+    #: instead of stalling the shared pool (``solver.deadline_unknowns``).
+    max_solver_deadline_s: Optional[float] = None
+    #: deterministic fault-injection plan for chaos tests (connection
+    #: drops fire in :meth:`ChefService._handle`); None in production.
+    fault_plan: Optional[object] = None
 
 
 class ChefService:
@@ -85,6 +93,10 @@ class ChefService:
         self._start_time = time.monotonic()
         self._stop: Optional[asyncio.Event] = None
         self._admission: Optional[asyncio.Semaphore] = None
+        from repro.faults import make_injector
+
+        self._faults = make_injector(config.fault_plan)
+        self._connections = 0
         if config.cache_dir:
             os.makedirs(config.cache_dir, exist_ok=True)
 
@@ -114,6 +126,18 @@ class ChefService:
     # -- connection handling ---------------------------------------------------
 
     async def _handle(self, reader, writer) -> None:
+        self._connections += 1
+        if self._faults is not None and self._faults.should_drop_connection(
+            self._connections
+        ):
+            # Chaos test: hang up without a reply — clients must retry.
+            self.registry.counter("service.connections_dropped").inc()
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+            return
         try:
             line = await reader.readline()
             if not line:
@@ -217,6 +241,12 @@ class ChefService:
         for source_key, dest_key in (
             ("cache.cross_run_hits", "service.cache.cross_run_hits"),
             ("parallel.persistent_loaded", "service.cache.persistent_loaded"),
+            ("recovery.worker_crashes", "service.recovery.worker_crashes"),
+            ("recovery.requeued_chunks", "service.recovery.requeued_chunks"),
+            ("recovery.quarantined_states", "service.recovery.quarantined_states"),
+            ("solver.deadline_unknowns", "service.solver.deadline_unknowns"),
+            ("checkpoint.saves", "service.checkpoint.saves"),
+            ("checkpoint.resumes", "service.checkpoint.resumes"),
         ):
             value = metrics.get(source_key, 0)
             if isinstance(value, (int, float)) and value:
@@ -237,6 +267,20 @@ class ChefService:
         fingerprints) and its persistent cache store.
         """
         chef_config = self._clamp_config(request.get("config") or {})
+        resume_path = request.get("resume")
+        if resume_path is not None:
+            # Continue a checkpointed campaign under this service's
+            # clamps: budgets/worker-count/trace are service policy even
+            # though the persisted config carries the original values.
+            return SymbolicSession.resume(
+                resume_path,
+                workers=self.config.workers,
+                telemetry=session_tele,
+                time_budget=chef_config.time_budget,
+                max_ll_paths=chef_config.max_ll_paths,
+                solver_deadline_s=chef_config.solver_deadline_s,
+                trace=self.config.trace,
+            )
         clay_source = request.get("clay")
         language = request.get("language")
         source = request.get("source")
@@ -275,6 +319,10 @@ class ChefService:
             "solver_budget",
             "sample_every",
             "worker_batch",
+            "unknown_policy",
+            "quarantine_threshold",
+            "checkpoint_dir",
+            "checkpoint_every",
         ):
             if field_name in requested:
                 config = replace(config, **{field_name: requested[field_name]})
@@ -282,10 +330,20 @@ class ChefService:
         max_ll_paths = int(requested.get("max_ll_paths", 0))
         if max_ll_paths <= 0:
             max_ll_paths = self.config.max_ll_paths
+        # Solver deadlines clamp toward *responsiveness*: a session may
+        # ask for a tighter deadline than the service cap, never a
+        # looser one (and with a cap set, "no deadline" means the cap).
+        deadline = requested.get("solver_deadline_s")
+        cap = self.config.max_solver_deadline_s
+        if cap is not None:
+            deadline = min(float(deadline), cap) if deadline else cap
+        elif deadline is not None:
+            deadline = float(deadline)
         return replace(
             config,
             time_budget=min(time_budget, self.config.max_time_budget),
             max_ll_paths=min(max_ll_paths, self.config.max_ll_paths),
+            solver_deadline_s=deadline,
             workers=self.config.workers,
             trace=self.config.trace,
         )

@@ -56,6 +56,7 @@ _COUNTER_FIELDS = (
     "merged_hits",
     "cross_run_hits",
     "persistent_loaded",
+    "corrupt_frames_skipped",
 )
 
 
@@ -306,6 +307,11 @@ for _field in _COUNTER_FIELDS:
 del _field
 
 
+#: largest frame a store will attempt to read back — a length prefix
+#: beyond this is a desynchronised (torn) stream, not a real frame.
+_MAX_FRAME_BYTES = 1 << 31
+
+
 class PersistentCacheStore:
     """Disk-backed journal of portable model-cache entries.
 
@@ -336,7 +342,7 @@ class PersistentCacheStore:
 
     MAGIC = "repro-cache/1"
 
-    def __init__(self, path):
+    def __init__(self, path, faults=None):
         self.path = os.fspath(path)
         self._lock = threading.Lock()
         #: fingerprints this handle has seen (loaded or appended) —
@@ -344,6 +350,15 @@ class PersistentCacheStore:
         #: not bloat the file across sessions.
         self._seen_fps: Set[FrozenSet[int]] = set()
         self._seq = 0
+        #: frames dropped by :meth:`load` (unpicklable, bad magic, or a
+        #: truncated tail), cumulative over this handle's lifetime;
+        #: :meth:`load_into` folds the per-load delta into the cache's
+        #: ``cache.corrupt_frames_skipped`` counter so torn writes are
+        #: visible in run metrics instead of silently shrinking reuse.
+        self.corrupt_frames_skipped = 0
+        #: optional :class:`~repro.faults.FaultInjector`; when set, every
+        #: append may be torn (tail-truncated) per the fault plan.
+        self._faults = faults
 
     def load(self) -> List[Tuple[FrozenSet[int], Tuple[Expr, ...], object]]:
         """Read every loadable frame; entries deduped by fingerprint."""
@@ -356,20 +371,36 @@ class PersistentCacheStore:
             with fh:
                 while True:
                     header = fh.read(8)
-                    if len(header) < 8:
+                    if not header:
                         break
-                    blob = fh.read(int.from_bytes(header, "big"))
-                    if len(blob) < int.from_bytes(header, "big"):
-                        break  # truncated tail from a crashed writer
+                    if len(header) < 8:
+                        # Torn mid-header: the tail frame is lost.
+                        self.corrupt_frames_skipped += 1
+                        break
+                    length = int.from_bytes(header, "big")
+                    if length > _MAX_FRAME_BYTES:
+                        # A length this large means we are reading the
+                        # middle of a frame (a tear desynchronised the
+                        # stream) — nothing past here can be trusted.
+                        self.corrupt_frames_skipped += 1
+                        break
+                    blob = fh.read(length)
+                    if len(blob) < length:
+                        # Truncated tail from a crashed (or torn) writer:
+                        # the longest valid prefix is what loaded so far.
+                        self.corrupt_frames_skipped += 1
+                        break
                     try:
                         frame = pickle.loads(blob)
                     except Exception:
+                        self.corrupt_frames_skipped += 1
                         continue  # bad frame: skip it, keep scanning
                     if (
                         not isinstance(frame, tuple)
                         or len(frame) != 3
                         or frame[0] != self.MAGIC
                     ):
+                        self.corrupt_frames_skipped += 1
                         continue
                     for entry in frame[2]:
                         fp_key = entry[0]
@@ -384,11 +415,17 @@ class PersistentCacheStore:
 
         Returns the number of entries adopted; ``cache.persistent_loaded``
         counts them and hits on them count as ``cache.cross_run_hits``.
+        Frames the load had to drop are folded into the cache's
+        ``cache.corrupt_frames_skipped`` counter.
         """
+        skipped_before = self.corrupt_frames_skipped
         entries = self.load()
         adopted = cache.merge(entries)
         cache.mark_persistent(entry[0] for entry in entries)
         cache.persistent_loaded += adopted
+        skipped = self.corrupt_frames_skipped - skipped_before
+        if skipped:
+            cache.corrupt_frames_skipped += skipped
         return adopted
 
     def append(self, entries: Sequence[Tuple[FrozenSet[int], Tuple[Expr, ...], object]]) -> int:
@@ -408,6 +445,8 @@ class PersistentCacheStore:
             # frames, never a header split from its blob.
             with open(self.path, "ab") as fh:
                 fh.write(len(blob).to_bytes(8, "big") + blob)
+            if self._faults is not None:
+                self._faults.maybe_truncate(self.path)
         return len(fresh)
 
     def append_from(self, cache: ModelCache, mark: int = 0) -> int:

@@ -28,10 +28,11 @@ the motivation for the paper's hash-neutralisation optimisation (§4.2).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import SolverTimeout
+from repro.errors import SolverDeadline, SolverTimeout
 from repro.obs.metrics import MetricsRegistry, counter_property
 from repro.obs.telemetry import Telemetry
 from repro.lowlevel.expr import (
@@ -73,6 +74,7 @@ _STAT_FIELDS = (
     "sat",
     "unsat",
     "timeouts",
+    "deadline_unknowns",
     "search_steps",
     "cex_reuses",
     "max_value_queries",
@@ -80,6 +82,11 @@ _STAT_FIELDS = (
     "component_cache_hits",
     "atoms_sliced",
 )
+
+#: How many search steps run between wall-clock deadline checks — the
+#: deadline is a degradation bound, not a precise timer, and checking
+#: ``time.monotonic()`` per step would dominate small searches.
+_DEADLINE_STRIDE = 128
 
 
 class SolverStats:
@@ -300,12 +307,25 @@ class CspSolver(SolverBackend):
         cache: Optional[ModelCache] = None,
         incremental: bool = True,
         telemetry: Optional[Telemetry] = None,
+        deadline_s: Optional[float] = None,
+        faults=None,
     ):
         self.budget = budget
         self.cache = cache if cache is not None else global_model_cache()
         self.incremental = incremental
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.stats = SolverStats(self.telemetry.registry)
+        #: per-query wall-clock deadline (seconds; None = unbounded).
+        #: Expiry surfaces as UNKNOWN from :meth:`check` and a
+        #: :class:`~repro.errors.SolverDeadline` from :meth:`solve`,
+        #: counted under ``solver.deadline_unknowns`` — the graceful-
+        #: degradation bound that keeps a wedged query from stalling a
+        #: whole session.
+        self.deadline_s = deadline_s
+        #: optional :class:`~repro.faults.FaultInjector` — chaos-test
+        #: hook that can stall or fail queries; None costs one check.
+        self._faults = faults
+        self._deadline_at: Optional[float] = None
 
     # -- SolverBackend protocol ---------------------------------------------
 
@@ -333,6 +353,9 @@ class CspSolver(SolverBackend):
     ) -> CheckResult:
         try:
             model = self._solve_set(self._as_set(constraints), hint, budget)
+        except SolverDeadline:
+            self.stats.deadline_unknowns += 1
+            return CheckResult(UNKNOWN)
         except SolverTimeout:
             self.stats.timeouts += 1
             return CheckResult(UNKNOWN)
@@ -354,6 +377,9 @@ class CspSolver(SolverBackend):
         """
         try:
             return self._solve_set(self._as_set(constraints), hint, budget)
+        except SolverDeadline:
+            self.stats.deadline_unknowns += 1
+            raise
         except SolverTimeout:
             self.stats.timeouts += 1
             raise
@@ -434,6 +460,17 @@ class CspSolver(SolverBackend):
     ) -> Optional[Dict[str, int]]:
         stats = self.stats
         stats.queries += 1
+        # Arm the per-query wall-clock deadline before any injected
+        # stall, so a wedged query degrades to UNKNOWN instead of
+        # costing its full stall repeatedly deeper in the search.
+        self._deadline_at = (
+            time.monotonic() + self.deadline_s
+            if self.deadline_s is not None
+            else None
+        )
+        if self._faults is not None:
+            self._faults.on_solver_query()  # may stall or raise SolverTimeout
+            self._check_deadline()
         if self.incremental:
             if cs.known_unsat:
                 stats.unsat += 1
@@ -555,6 +592,15 @@ class CspSolver(SolverBackend):
             cs.note_model(dict(solution))
         self.cache.remember_solution(solution)
         return dict(solution)
+
+    def _check_deadline(self) -> None:
+        if (
+            self._deadline_at is not None
+            and time.monotonic() > self._deadline_at
+        ):
+            raise SolverDeadline(
+                f"solver deadline ({self.deadline_s}s) exceeded"
+            )
 
     @staticmethod
     def _complete_over_domains(
@@ -714,6 +760,7 @@ class CspSolver(SolverBackend):
 
         env: Dict[str, int] = {}
         steps = 0
+        deadline_at = self._deadline_at
 
         def candidates(name: str):
             lo, hi = work[name]
@@ -736,6 +783,15 @@ class CspSolver(SolverBackend):
                 if steps > budget:
                     raise SolverTimeout(
                         f"solver budget exhausted ({budget} steps)"
+                    )
+                if (
+                    deadline_at is not None
+                    and steps % _DEADLINE_STRIDE == 0
+                    and time.monotonic() > deadline_at
+                ):
+                    raise SolverDeadline(
+                        f"solver deadline ({self.deadline_s}s) exceeded "
+                        f"after {steps} steps"
                     )
                 env[name] = value
                 ok = True
@@ -764,14 +820,22 @@ class CspSolver(SolverBackend):
 
 
 def make_default_solver(
-    budget: int = DEFAULT_BUDGET, telemetry: Optional[Telemetry] = None
+    budget: int = DEFAULT_BUDGET,
+    telemetry: Optional[Telemetry] = None,
+    deadline_s: Optional[float] = None,
+    faults=None,
 ) -> CspSolver:
     """Factory used by the engine; backed by the engine-wide model cache.
 
     ``telemetry`` shares the caller's observability context (registry +
     tracer) so solver counters land in the engine's one registry.
+    ``deadline_s`` bounds each query's wall clock (graceful degradation
+    to UNKNOWN); ``faults`` is the chaos-test injector, None in
+    production.
     """
-    return CspSolver(budget=budget, telemetry=telemetry)
+    return CspSolver(
+        budget=budget, telemetry=telemetry, deadline_s=deadline_s, faults=faults
+    )
 
 
 __all__ = [

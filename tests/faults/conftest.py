@@ -1,0 +1,21 @@
+"""Shared fixtures for the chaos suite.
+
+Every test here runs against the process-wide shared worker pools, and
+several of them deliberately crash workers; the autouse fixture makes
+sure one test's carnage (replacement pools, quarantined registries)
+never leaks into the next.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.pool import close_shared_pools
+
+
+@pytest.fixture(autouse=True)
+def _fresh_shared_pools():
+    """Isolate the process-wide pool registry per test."""
+    close_shared_pools()
+    yield
+    close_shared_pools()

@@ -1,0 +1,83 @@
+"""Solver graceful degradation: wedged queries become ``unknown``.
+
+A per-query deadline turns a wedged backend into counted ``unknown``
+verdicts instead of a hung campaign; the executor's ``unknown_policy``
+decides whether the affected state is pruned (sound default) or adopts
+its seed assignment and keeps exploring (optimistic).
+"""
+
+from __future__ import annotations
+
+from repro.api.events import RunFinished
+from repro.api.session import SymbolicSession
+from repro.bench.workloads import branchy_source
+from repro.chef.options import ChefConfig
+from repro.clay import compile_program
+from repro.faults import FaultPlan
+
+_DEPTH = 3
+_PATHS = 2 ** _DEPTH
+
+
+def _run(fault_plan, *, workers=1, **overrides):
+    program = compile_program(branchy_source(_DEPTH)).program
+    config = ChefConfig(
+        time_budget=60.0, workers=workers, fault_plan=fault_plan, **overrides
+    )
+    session = SymbolicSession.from_program(program, config)
+    events = list(session.events())
+    return session, events
+
+
+class TestDeadlineDegradation:
+    def test_wedged_solver_degrades_to_unknown_serial(self):
+        """Every query past #2 stalls longer than the deadline allows."""
+        session, events = _run(
+            FaultPlan(wedge_from_query=2, wedge_seconds=0.05),
+            solver_deadline_s=0.01,
+        )
+        assert isinstance(events[-1], RunFinished), "wedged run must terminate"
+        metrics = session.metrics()
+        assert metrics.get("solver.deadline_unknowns", 0) > 0
+        # Unknown activations are pruned under the default policy.
+        assert session.result.engine_stats.get("states_timeout", 0) > 0
+        assert session.result.ll_paths < _PATHS
+        assert session.result.duration < 60.0
+
+    def test_wedged_workers_degrade_in_parallel(self):
+        """The deadline and the wedge both ship through pool configure."""
+        session, events = _run(
+            FaultPlan(wedge_from_query=2, wedge_seconds=0.05),
+            workers=2,
+            solver_deadline_s=0.01,
+        )
+        assert isinstance(events[-1], RunFinished)
+        assert session.metrics().get("solver.deadline_unknowns", 0) > 0
+
+    def test_no_deadline_means_no_deadline_unknowns(self):
+        session, _events = _run(None)
+        assert session.metrics().get("solver.deadline_unknowns", 0) == 0
+        assert session.result.ll_paths == _PATHS
+
+
+class TestInjectedSolverFailures:
+    def test_injected_timeouts_are_counted_and_survived(self):
+        session, events = _run(FaultPlan(fail_query_every=3))
+        assert isinstance(events[-1], RunFinished)
+        assert session.metrics().get("solver.timeouts", 0) > 0
+        assert session.result.ll_paths <= _PATHS
+
+
+class TestUnknownPolicy:
+    def test_prune_policy_drops_every_unknown_activation(self):
+        """With every query failing, only the boot path survives."""
+        session, _events = _run(FaultPlan(fail_query_every=1))
+        assert session.result.ll_paths == 1
+        assert session.result.engine_stats.get("states_unknown_adopted", 0) == 0
+
+    def test_feasible_policy_adopts_seed_and_keeps_exploring(self):
+        session, _events = _run(
+            FaultPlan(fail_query_every=1), unknown_policy="feasible"
+        )
+        assert session.result.engine_stats.get("states_unknown_adopted", 0) > 0
+        assert session.result.ll_paths > 1

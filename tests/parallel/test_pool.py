@@ -374,9 +374,9 @@ class TestEpochKeyedJournals:
         shipped = {}
         real_run_round = pool.run_round
 
-        def spy(run_id, round_no, chunks, delta):
+        def spy(run_id, round_no, chunks, delta, **kwargs):
             shipped.setdefault("delta", list(delta))
-            return real_run_round(run_id, round_no, chunks, delta)
+            return real_run_round(run_id, round_no, chunks, delta, **kwargs)
 
         monkeypatch.setattr(pool, "run_round", spy)
         explorer.submit([boot_snapshot(program)])

@@ -160,3 +160,41 @@ class TestBudgets:
         inside = service._clamp_config({"time_budget": 2.5, "max_ll_paths": 12})
         assert inside.time_budget == 2.5
         assert inside.max_ll_paths == 12
+
+
+class TestSolverDeadlinePolicy:
+    def test_deadline_clamps_to_service_cap(self):
+        service = ChefService(
+            ServiceConfig(socket_path="unused.sock", max_solver_deadline_s=0.5)
+        )
+        assert service._clamp_config({"solver_deadline_s": 10.0}).solver_deadline_s == 0.5
+        assert service._clamp_config({"solver_deadline_s": 0.1}).solver_deadline_s == 0.1
+        # The cap is a floor against wedged sessions: it applies even to
+        # requests that asked for no deadline at all.
+        assert service._clamp_config({}).solver_deadline_s == 0.5
+
+    def test_no_cap_leaves_deadline_requests_alone(self):
+        service = ChefService(ServiceConfig(socket_path="unused.sock"))
+        assert service._clamp_config({}).solver_deadline_s is None
+        assert service._clamp_config({"solver_deadline_s": 3.0}).solver_deadline_s == 3.0
+
+
+class TestCheckpointedSessions:
+    def test_run_then_resume_through_the_daemon(self, daemon_factory, tmp_path):
+        source = branchy_source(4)
+        ckpt_dir = str(tmp_path / "svc-ckpt")
+        _service, client = daemon_factory()
+        first_events, first_result = client.run(
+            clay=source, config={"checkpoint_dir": ckpt_dir, "checkpoint_every": 1}
+        )
+        assert first_result["ll_paths"] == 16
+        assert "CheckpointSaved" in [event["event"] for event in first_events]
+
+        resumed_events, resumed_result = client.run(resume=ckpt_dir)
+        assert resumed_result["ll_paths"] == 16
+        assert protocol.path_event_multiset(
+            resumed_events
+        ) == protocol.path_event_multiset(first_events)
+        metrics = client.stats()["metrics"]
+        assert metrics.get("service.checkpoint.saves", 0) > 0
+        assert metrics.get("service.checkpoint.resumes", 0) == 1

@@ -327,3 +327,77 @@ class TestPersistentStore:
             fh.write((10 ** 6).to_bytes(8, "big") + b"short")  # crashed writer
         fresh = PersistentCacheStore(store.path)
         assert len(fresh.load()) == 2
+
+
+class TestTornWrites:
+    """Torn-write recovery: cut the store at every offset of its tail frame.
+
+    A crashed (or fault-injected) writer can leave any prefix of the
+    final frame on disk; every such prefix must load back as the
+    longest valid frame prefix, with the damage folded into the
+    ``cache.corrupt_frames_skipped`` counter.
+    """
+
+    def _two_frame_store(self, tmp_path):
+        from repro.solver.cache import PersistentCacheStore
+
+        store = PersistentCacheStore(tmp_path / "verdicts.cache")
+        for frame_no in range(2):
+            cache = ModelCache()
+            atoms, xs = _atoms(f"torn_{frame_no}", 2)
+            for i, atom in enumerate(atoms):
+                cache.store(
+                    ModelCache.key_for([atom]), {xs[i].name: 40 + i}, atoms=[atom]
+                )
+            assert store.append_from(cache) == 2
+        return store
+
+    @staticmethod
+    def _frame_offsets(path):
+        import os
+
+        offsets = []
+        size = os.path.getsize(path)
+        with open(path, "rb") as fh:
+            while fh.tell() < size:
+                offsets.append(fh.tell())
+                length = int.from_bytes(fh.read(8), "big")
+                fh.seek(length, 1)
+        return offsets, size
+
+    def test_truncate_at_every_offset_of_final_frame(self, tmp_path):
+        from repro.solver.cache import PersistentCacheStore
+
+        store = self._two_frame_store(tmp_path)
+        offsets, size = self._frame_offsets(store.path)
+        assert len(offsets) == 2
+        blob = open(store.path, "rb").read()
+        torn = tmp_path / "torn.cache"
+        for cut in range(offsets[-1], size):
+            torn.write_bytes(blob[:cut])
+            handle = PersistentCacheStore(torn)
+            cache = ModelCache()
+            assert handle.load_into(cache) == 2, f"prefix lost at cut {cut}"
+            expected_skips = 0 if cut == offsets[-1] else 1
+            assert handle.corrupt_frames_skipped == expected_skips
+            assert cache.corrupt_frames_skipped == expected_skips
+
+    def test_desynchronised_stream_after_tear_and_append_is_bounded(self, tmp_path):
+        """A tear followed by a later append must not crash the loader."""
+        from repro.faults import FaultInjector, FaultPlan
+        from repro.solver.cache import PersistentCacheStore
+
+        store = self._two_frame_store(tmp_path)
+        injector = FaultInjector(FaultPlan(truncate_tail_bytes=7))
+        assert injector.maybe_truncate(str(store.path))
+        # A fresh handle appends after the torn tail: the stream past
+        # the tear is desynchronised garbage.
+        late = PersistentCacheStore(store.path)
+        cache = ModelCache()
+        atoms, xs = _atoms("torn_late", 1)
+        cache.store(ModelCache.key_for(atoms), {xs[0].name: 40}, atoms=atoms)
+        late.append_from(cache)
+        fresh = PersistentCacheStore(store.path)
+        entries = fresh.load()
+        assert len(entries) == 2  # the pre-tear frame survives
+        assert fresh.corrupt_frames_skipped >= 1

@@ -1,7 +1,7 @@
 """Fault-tolerance smoke benchmark: recovery counters per PR.
 
 Runs the three headline chaos scenarios at benchmark scale and emits
-their counters to ``BENCH_pr9.json`` (``fault_tolerance`` section), so
+their counters to ``BENCH_pr10.json`` (``fault_tolerance`` section), so
 the recovery story is tracked per PR alongside the perf trajectory:
 
 - worker SIGKILL mid-round at ``workers=2`` — path multiset must equal

@@ -21,7 +21,7 @@ deep-traced workload (interpreter-startup-shaped trace prefix) through
 the full Chef pipeline and gates the O(since-restore-suffix) pending
 classification: tree steps must undercut full-trace replay ≥10×.
 
-Counters and timings are emitted to ``BENCH_pr9.json`` at the repo root
+Counters and timings are emitted to ``BENCH_pr10.json`` at the repo root
 (schema in ``docs/architecture.md``) so the perf trajectory is tracked
 per PR.  The stat dicts in the payload are prefix views of the obs
 metrics registry — the same numbers ``Session.metrics()`` reports —

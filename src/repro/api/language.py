@@ -106,6 +106,7 @@ _REGISTRY: Dict[str, GuestLanguage] = {}
 _BUILTIN_MODULES = (
     "repro.interpreters.minipy.language",
     "repro.interpreters.minilua.language",
+    "repro.interpreters.pylite.language",
 )
 _builtins_loaded = False
 

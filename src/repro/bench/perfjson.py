@@ -1,4 +1,4 @@
-"""Machine-readable perf trajectory: ``BENCH_pr9.json`` at the repo root.
+"""Machine-readable perf trajectory: ``BENCH_pr10.json`` at the repo root.
 
 Benchmarks call :func:`update_bench_json` with a section name and a
 payload; the file accumulates sections across benchmark runs
@@ -34,14 +34,14 @@ import subprocess
 import time
 from typing import Dict, Optional
 
-SCHEMA = "repro-bench/pr9"
+SCHEMA = "repro-bench/pr10"
 
 #: Repo root (this file lives at src/repro/bench/perfjson.py).
 _REPO_ROOT = os.path.abspath(
     os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, os.pardir)
 )
 
-DEFAULT_PATH = os.path.join(_REPO_ROOT, "BENCH_pr9.json")
+DEFAULT_PATH = os.path.join(_REPO_ROOT, "BENCH_pr10.json")
 
 
 def run_metadata() -> Dict:

@@ -23,8 +23,14 @@ import json
 import sys
 from typing import Optional
 
+from repro.api.language import languages
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.daemon import ChefService, ServiceConfig
+
+
+def _language_help() -> str:
+    """Registry-derived help text: new languages show up automatically."""
+    return "registered guest language name (one of: %s)" % ", ".join(languages())
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -54,7 +60,7 @@ def _build_parser() -> argparse.ArgumentParser:
     target.add_argument("--clay-file", help="Clay guest source file")
     target.add_argument("--file", help="guest source file (with --language)")
     target.add_argument("--source", help="inline guest source (with --language)")
-    run.add_argument("--language", help="registered guest language name")
+    run.add_argument("--language", help=_language_help())
     run.add_argument("--strategy", default=None)
     run.add_argument("--seed", type=int, default=None)
     run.add_argument("--time-budget", type=float, default=None)

@@ -19,8 +19,15 @@ def merge_coverage(parts: Iterable[Set[int]]) -> Set[int]:
     return merged
 
 
-def count_loc(source: str, comment_prefix: str = "#") -> int:
-    """Non-blank, non-comment source lines (the paper uses cloc)."""
+def count_loc(source: str, *, comment_prefix: str) -> int:
+    """Non-blank, non-comment source lines (the paper uses cloc).
+
+    ``comment_prefix`` is keyword-only and has no default on purpose:
+    the prefix belongs to the :class:`~repro.api.language.GuestLanguage`
+    under measurement (``language.loc(source)`` passes it), and a silent
+    ``"#"`` default let Lua sources be miscounted at call sites that
+    forgot to pass one.
+    """
     count = 0
     for line in source.split("\n"):
         stripped = line.strip()

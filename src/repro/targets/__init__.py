@@ -1,16 +1,19 @@
 """Testing targets: the reproduction's analogue of the paper's 11 packages.
 
 Each target is a real little library written *in the guest language*
-(MiniPy or MiniLua) with the same role, input-dependent control flow and
-observable behaviours as the package evaluated in the paper — including
-the seeded Lua JSON comment hang (§6.2) and mini-xlrd's four undocumented
-exception types (Table 3).
+(MiniPy, MiniLua or PyLite) with the same role, input-dependent control
+flow and observable behaviours as the package evaluated in the paper —
+including the seeded Lua JSON comment hang (§6.2) and mini-xlrd's four
+undocumented exception types (Table 3).  The three PyLite targets are the
+frontend scenario pack; they compile straight to the LVM and run
+end-to-end.
 """
 
 from repro.targets.registry import (
     TargetPackage,
     all_targets,
     lua_targets,
+    pylite_targets,
     python_targets,
     target_by_name,
 )
@@ -19,6 +22,7 @@ __all__ = [
     "TargetPackage",
     "all_targets",
     "lua_targets",
+    "pylite_targets",
     "python_targets",
     "target_by_name",
 ]

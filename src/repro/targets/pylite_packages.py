@@ -1,0 +1,114 @@
+"""The three PyLite scenario packages (frontend counterpart of Table 3).
+
+Each ``*_SOURCE`` constant is real Python inside the PyLite subset — it
+runs unchanged under CPython (the differential oracle) *and* compiles
+through the frontend onto the LVM.  The pack covers the ROADMAP scenario
+shapes: a string parser, a state machine and a codec.  ``*_TEST`` is the
+declarative symbolic-test spec consumed by :class:`SimpleSymbolicTest`.
+"""
+
+PARSEINT_SOURCE = '''
+# mini-int-parser: sign handling plus a digit loop.
+# Documented exceptions: ValueError.
+
+def parse_int(text):
+    if len(text) == 0:
+        raise ValueError("empty input")
+    sign = 1
+    start = 0
+    if text[0] == "-":
+        sign = -1
+        start = 1
+        if len(text) == 1:
+            raise ValueError("sign without digits")
+    value = 0
+    for i in range(start, len(text)):
+        d = ord(text[i])
+        if d < 48:
+            raise ValueError("not a digit")
+        if d > 57:
+            raise ValueError("not a digit")
+        value = value * 10 + (d - 48)
+    return sign * value
+'''
+
+PARSEINT_TEST = {
+    "inputs": [("str", "cmd", "42")],
+    "body": "n = parse_int(cmd)\nprint(n)",
+}
+
+TURNSTILE_SOURCE = '''
+# turnstile state machine: coins unlock, pushes enter, invariant audited.
+# Documented exceptions: RuntimeError.
+
+def new_turnstile():
+    m = {}
+    m["state"] = "locked"
+    m["coins"] = 0
+    m["entries"] = 0
+    return m
+
+def step(m, cmd):
+    if cmd == "c":
+        m["coins"] = m["coins"] + 1
+        m["state"] = "open"
+    elif cmd == "p":
+        if m["state"] == "open":
+            m["entries"] = m["entries"] + 1
+            m["state"] = "locked"
+    else:
+        raise RuntimeError("unknown command")
+    return m
+
+def run_machine(cmds):
+    m = new_turnstile()
+    for i in range(len(cmds)):
+        m = step(m, cmds[i])
+        assert m["entries"] <= m["coins"]
+    return m
+'''
+
+TURNSTILE_TEST = {
+    "inputs": [("str", "cmds", "cp")],
+    "body": 'm = run_machine(cmds)\nprint(m["entries"])',
+}
+
+RLE_SOURCE = '''
+# run-length codec with an audited round-trip.
+# Documented exceptions: ValueError.
+
+def rle_encode(text):
+    runs = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        n = 1
+        while i + n < len(text) and text[i + n] == ch:
+            n = n + 1
+        runs.append(ord(ch))
+        runs.append(n)
+        i = i + n
+    return runs
+
+def rle_decode(runs):
+    out = ""
+    i = 0
+    while i < len(runs):
+        ch = chr(runs[i])
+        n = runs[i + 1]
+        for j in range(n):
+            out = out + ch
+        i = i + 2
+    return out
+
+def roundtrip(text):
+    runs = rle_encode(text)
+    decoded = rle_decode(runs)
+    assert decoded == text
+    return len(runs) // 2
+'''
+
+RLE_TEST = {
+    "inputs": [("str", "data", "aa")],
+    "body": "k = roundtrip(data)\nprint(k)",
+}

@@ -1,4 +1,4 @@
-"""Registry of the 11 testing targets with Table 3 metadata.
+"""Registry of the testing targets (11 Table 3 rows + the PyLite pack).
 
 The *documented* exception classification follows the paper exactly
 (§6.2): an exception is documented if the package's documentation names
@@ -16,6 +16,7 @@ from repro.api.language import get_language
 from repro.symtest.library import SimpleSymbolicTest
 from repro.targets import minilua_packages as LUA
 from repro.targets import minipy_packages as PY
+from repro.targets import pylite_packages as PL
 
 #: stdlib exceptions the paper treats as always-documented.
 COMMON_DOCUMENTED = frozenset({"KeyError", "ValueError", "TypeError"})
@@ -26,7 +27,7 @@ class TargetPackage:
     """One evaluation target (a row of Table 3)."""
 
     name: str
-    language: str          # "minipy" or "minilua"
+    language: str          # a registered guest language name
     ptype: str             # System / Web / Office
     description: str
     source: str
@@ -171,8 +172,50 @@ def _lua_targets() -> Tuple[TargetPackage, ...]:
 
 
 @lru_cache(maxsize=None)
+def _pylite_targets() -> Tuple[TargetPackage, ...]:
+    """The frontend scenario pack: parser / state machine / codec.
+
+    Unlike the Table 3 rows these run end-to-end today — PyLite compiles
+    straight to the LVM, so no Clay sources are needed.
+    """
+    return (
+        TargetPackage(
+            name="parseint",
+            language="pylite",
+            ptype="System",
+            description="Integer parser (sign + digit loop)",
+            source=PL.PARSEINT_SOURCE,
+            test_inputs=tuple(PL.PARSEINT_TEST["inputs"]),
+            test_body=PL.PARSEINT_TEST["body"],
+        ),
+        TargetPackage(
+            name="turnstile",
+            language="pylite",
+            ptype="System",
+            description="Turnstile state machine with an audited invariant",
+            source=PL.TURNSTILE_SOURCE,
+            test_inputs=tuple(PL.TURNSTILE_TEST["inputs"]),
+            test_body=PL.TURNSTILE_TEST["body"],
+            documented_exceptions=frozenset({"RuntimeError"}),
+        ),
+        TargetPackage(
+            name="rle",
+            language="pylite",
+            ptype="Office",
+            description="Run-length codec with an audited round-trip",
+            source=PL.RLE_SOURCE,
+            test_inputs=tuple(PL.RLE_TEST["inputs"]),
+            test_body=PL.RLE_TEST["body"],
+        ),
+    )
+
+
+@lru_cache(maxsize=None)
 def _target_index() -> Dict[str, TargetPackage]:
-    return {target.name: target for target in _python_targets() + _lua_targets()}
+    return {
+        target.name: target
+        for target in _python_targets() + _lua_targets() + _pylite_targets()
+    }
 
 
 def python_targets() -> List[TargetPackage]:
@@ -183,8 +226,12 @@ def lua_targets() -> List[TargetPackage]:
     return list(_lua_targets())
 
 
+def pylite_targets() -> List[TargetPackage]:
+    return list(_pylite_targets())
+
+
 def all_targets() -> List[TargetPackage]:
-    return list(_python_targets() + _lua_targets())
+    return list(_python_targets() + _lua_targets() + _pylite_targets())
 
 
 def target_by_name(name: str) -> TargetPackage:

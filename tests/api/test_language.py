@@ -29,11 +29,12 @@ ROUND_TRIP_CASES = [
 
 class TestRegistry:
     def test_builtins_registered(self):
-        assert languages() == ["minilua", "minipy"]
+        assert languages() == ["minilua", "minipy", "pylite"]
 
     def test_get_language_comment_prefixes(self):
         assert get_language("minipy").comment_prefix == "#"
         assert get_language("minilua").comment_prefix == "--"
+        assert get_language("pylite").comment_prefix == "#"
 
     def test_get_language_passthrough(self):
         lang = get_language("minipy")
@@ -42,8 +43,8 @@ class TestRegistry:
     def test_unknown_language_error_lists_known(self):
         with pytest.raises(UnknownLanguageError) as exc:
             get_language("ruby")
-        assert "minipy" in str(exc.value)
-        assert "minilua" in str(exc.value)
+        # All three builtins, quoted, in sorted order.
+        assert "'minilua', 'minipy', 'pylite'" in str(exc.value)
 
     def test_unknown_language_error_is_repro_error(self):
         with pytest.raises(ReproError):
@@ -63,7 +64,7 @@ class TestRegistry:
         with pytest.raises(ReproError):
             register_language(impostor)
         # ...and the registry stays usable afterwards.
-        assert languages() == ["minilua", "minipy"]
+        assert languages() == ["minilua", "minipy", "pylite"]
 
     def test_conflict_detected_even_before_first_lookup(self):
         # Regression: registering an impostor under a builtin name
@@ -79,6 +80,7 @@ class TestRegistry:
         module_names = [
             "repro.interpreters.minipy.language",
             "repro.interpreters.minilua.language",
+            "repro.interpreters.pylite.language",
         ]
         saved_modules = {n: sys.modules.pop(n) for n in module_names if n in sys.modules}
         _REGISTRY.clear()
@@ -92,7 +94,7 @@ class TestRegistry:
             )
             with pytest.raises(ReproError):
                 register_language(impostor)
-            assert languages() == ["minilua", "minipy"]
+            assert languages() == ["minilua", "minipy", "pylite"]
         finally:
             _REGISTRY.clear()
             _REGISTRY.update(saved_registry)
@@ -142,6 +144,16 @@ class TestQuoting:
         values = [t.value for t in tokens if t.kind == "str"]
         assert values == [text]
 
+    @pytest.mark.parametrize("text", ROUND_TRIP_CASES)
+    def test_pylite_literal_round_trips_through_ast(self, text):
+        # PyLite is parsed by CPython's ast, so the literal must read
+        # back identically under Python's own literal rules.
+        import ast
+
+        literal = get_language("pylite").quote_literal(text)
+        assert ast.literal_eval(literal) == text
+
     def test_loc_uses_language_comment_prefix(self):
         assert get_language("minipy").loc("a = 1\n# c\nb = 2\n") == 2
         assert get_language("minilua").loc("x = 1\n-- c\ny = 2\n") == 2
+        assert get_language("pylite").loc("a = 1\n# c\n\nb = 2\n") == 2

@@ -1,0 +1,78 @@
+"""PyLite subset boundary: programs outside the subset fail loudly.
+
+The frontend's contract is "restricted but real": whatever it accepts
+must behave exactly like CPython, and whatever it can't guarantee that
+for must be rejected at compile time with a line number — never lowered
+to something subtly different.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.frontend import compile_pylite
+from repro.frontend.lower import PyLiteSyntaxError
+
+
+REJECTED = [
+    ("true_division", "x = 7 / 2\n"),
+    ("chained_comparison", "ok = 0 < 1 < 2\n"),
+    ("try_except", "try:\n    x = 1\nexcept ValueError:\n    x = 2\n"),
+    ("class_def", "class C:\n    pass\n"),
+    ("import", "import os\n"),
+    ("lambda", "f = lambda x: x\n"),
+    ("while_else", "while 0:\n    pass\nelse:\n    x = 1\n"),
+    ("main_reserved", "def main():\n    return 0\n"),
+    ("nested_def", "def f():\n    def g():\n        return 1\n    return 2\n"),
+    ("default_args", "def f(x=1):\n    return x\n"),
+    ("unknown_function", "x = frob(1)\n"),
+    ("function_as_value", "def f():\n    return 1\nx = f\n"),
+    ("assign_to_builtin", "len = 3\n"),
+    ("bad_user_arity", "def f(x):\n    return x\ny = f(1, 2)\n"),
+    ("bad_builtin_arity", "x = ord(\"a\", \"b\")\n"),
+    ("for_over_list", "for x in [1, 2]:\n    pass\n"),
+    ("symbolic_range_step", "n = 2\nfor i in range(0, 9, n):\n    pass\n"),
+    ("zero_range_step", "for i in range(0, 9, 0):\n    pass\n"),
+    ("unknown_exception", "raise FrobError\n"),
+    ("fstring", "x = f\"hi\"\n"),
+    ("float_literal", "x = 1.5\n"),
+]
+
+
+@pytest.mark.parametrize(
+    "source", [case[1] for case in REJECTED], ids=[case[0] for case in REJECTED]
+)
+def test_rejected_constructs(source):
+    with pytest.raises(PyLiteSyntaxError):
+        compile_pylite(source)
+
+
+def test_syntax_error_is_repro_error():
+    with pytest.raises(ReproError):
+        compile_pylite("x = 7 / 2\n")
+
+
+def test_syntax_error_carries_line_number():
+    with pytest.raises(PyLiteSyntaxError) as exc:
+        compile_pylite("x = 1\ny = 7 / 2\n")
+    assert "line 2" in str(exc.value)
+
+
+def test_cpython_syntax_errors_are_wrapped():
+    with pytest.raises(PyLiteSyntaxError):
+        compile_pylite("def f(:\n")
+
+
+ACCEPTED = [
+    ("floor_division", "x = 7 // 2\n"),
+    ("negative_range_step", "for i in range(9, 0, -1):\n    pass\n"),
+    ("docstring_skipped", 'def f(x):\n    "doc"\n    return x\ny = f(1)\n'),
+    ("boolop_values", "x = 0 or 3\ny = x and 2\n"),
+    ("augassign", "x = 1\nx += 2\n"),
+]
+
+
+@pytest.mark.parametrize(
+    "source", [case[1] for case in ACCEPTED], ids=[case[0] for case in ACCEPTED]
+)
+def test_accepted_constructs(source):
+    compile_pylite(source)

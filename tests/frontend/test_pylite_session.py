@@ -1,0 +1,191 @@
+"""PyLite through the full stack: Session, workers, replay, semantics.
+
+The acceptance bar for the frontend: ``Session("pylite", source)``
+explores a symbolic branch+loop program with an identical path multiset
+at 1, 2 and 4 workers, and every generated test case replays identically
+under vanilla CPython.
+"""
+
+import pytest
+
+import repro
+from repro.api.session import SymbolicSession
+from repro.chef.options import ChefConfig
+from repro.interpreters.pylite.engine import PyLiteEngine
+
+
+#: branch + loop over a symbolic string — the acceptance-criterion shape.
+SCAN_SOURCE = (
+    's = sym_string("ab!")\n'
+    "seen = 0\n"
+    "for i in range(len(s)):\n"
+    "    c = ord(s[i])\n"
+    "    if c < 48:\n"
+    '        raise ValueError("control byte")\n'
+    '    if s[i] == "a":\n'
+    "        seen = seen + 1\n"
+    "print(seen)\n"
+)
+
+
+def _multiset(suite):
+    """Order-independent fingerprint of a test suite."""
+    return sorted(
+        (
+            tuple(sorted((k, tuple(v)) for k, v in case.inputs.items())),
+            tuple(case.output),
+            case.exception_type,
+            case.hang,
+        )
+        for case in suite.cases
+    )
+
+
+class TestSessionEndToEnd:
+    def test_pylite_is_a_session_language(self):
+        assert "pylite" in repro.languages()
+
+    def test_single_worker_run(self):
+        session = repro.Session("pylite", SCAN_SOURCE)
+        result = session.run()
+        assert len(result.suite.cases) >= 4
+        # at least one ValueError path and one clean path
+        names = {session.exception_name(t) for t in result.suite.exceptions()}
+        assert "ValueError" in names
+
+    def test_path_multiset_identical_across_worker_counts(self):
+        baseline = None
+        for workers in (1, 2, 4):
+            session = repro.Session(
+                "pylite", SCAN_SOURCE, ChefConfig(workers=workers)
+            )
+            fingerprint = _multiset(session.run().suite)
+            if baseline is None:
+                baseline = fingerprint
+            assert fingerprint == baseline, f"workers={workers} diverged"
+
+    def test_differential_replay_of_every_case(self):
+        engine = PyLiteEngine(SCAN_SOURCE)
+        result = engine.run()
+        reports = engine.differential_sweep(result.suite)
+        assert reports and all(r.matches for r in reports), [
+            r.detail for r in reports if not r.matches
+        ]
+
+    def test_session_replay_facade(self):
+        session = repro.Session("pylite", SCAN_SOURCE)
+        result = session.run()
+        clean = [c for c in result.suite.cases if c.exception_type is None]
+        assert clean
+        host = session.replay(clean[0])
+        assert host.exception is None
+        assert list(host.output) == list(clean[0].output)
+
+    def test_session_coverage(self):
+        session = repro.Session("pylite", SCAN_SOURCE)
+        result = session.run()
+        covered, coverable = session.coverage(result.suite, replay_all=True)
+        assert coverable == 9
+        assert len(covered) == coverable  # exhaustive run covers every line
+
+    def test_reexploration_via_for_engine(self):
+        engine = PyLiteEngine(SCAN_SOURCE)
+        first = SymbolicSession.for_engine(engine, language="pylite").run()
+        second = SymbolicSession.for_engine(engine, language="pylite").run()
+        assert _multiset(first.suite) == _multiset(second.suite)
+
+
+class TestCPythonCornerSemantics:
+    """Differential replay doubles as the semantics oracle: explore a
+    corner, then require the LVM and CPython to agree on every path."""
+
+    def _sweep(self, source):
+        engine = PyLiteEngine(source)
+        result = engine.run()
+        reports = engine.differential_sweep(result.suite)
+        assert reports and all(r.matches for r in reports), [
+            r.detail for r in reports if not r.matches
+        ]
+        return engine, result
+
+    def test_conditionally_bound_local_raises_unbound_local(self):
+        # The straight-line "already assigned" shortcut would get this
+        # wrong: binding happens on only one side of the branch.
+        engine, result = self._sweep(
+            "def f(n):\n"
+            "    if n > 0:\n"
+            "        x = 1\n"
+            "    return x\n"
+            "n = sym_int(1, 0, 1)\n"
+            "print(f(n))\n"
+        )
+        names = {engine.exception_name(t) for t in result.suite.exceptions()}
+        assert "UnboundLocalError" in names
+
+    def test_unbound_global_raises_name_error(self):
+        engine, result = self._sweep(
+            "n = sym_int(0, 0, 1)\n"
+            "if n == 1:\n"
+            "    y = 5\n"
+            "print(y)\n"
+        )
+        names = {engine.exception_name(t) for t in result.suite.exceptions()}
+        assert "NameError" in names
+
+    def test_division_by_symbolic_zero_forks(self):
+        engine, result = self._sweep(
+            "n = sym_int(1, 0, 3)\nprint(10 // n)\n"
+        )
+        names = {engine.exception_name(t) for t in result.suite.exceptions()}
+        assert "ZeroDivisionError" in names
+
+    def test_negative_floor_division_matches_cpython(self):
+        # CPython floors toward -inf; naive truncation would diverge.
+        self._sweep("n = sym_int(1, -3, 3)\nif n != 0:\n    print(-7 // n)\n")
+
+    def test_negative_modulo_matches_cpython(self):
+        self._sweep("n = sym_int(1, -3, 3)\nif n != 0:\n    print(-7 % n)\n")
+
+    def test_index_wraparound_and_bounds(self):
+        engine, result = self._sweep(
+            's = "ab"\n'
+            "n = sym_int(0, -4, 4)\n"
+            "print(ord(s[n]))\n"
+        )
+        names = {engine.exception_name(t) for t in result.suite.exceptions()}
+        assert "IndexError" in names
+
+    def test_chr_range_check(self):
+        engine, result = self._sweep(
+            "n = sym_int(65, 200, 300)\nprint(chr(n))\n"
+        )
+        names = {engine.exception_name(t) for t in result.suite.exceptions()}
+        assert "ValueError" in names
+
+    def test_dict_missing_key_forks_key_error(self):
+        engine, result = self._sweep(
+            "d = {}\n"
+            'd["a"] = 1\n'
+            'd["b"] = 2\n'
+            's = sym_string("a")\n'
+            "print(d[s])\n"
+        )
+        names = {engine.exception_name(t) for t in result.suite.exceptions()}
+        assert "KeyError" in names
+
+    def test_boolop_returns_operand_value(self):
+        self._sweep(
+            "n = sym_int(0, 0, 2)\n"
+            "x = n or 7\n"
+            "y = n and 9\n"
+            "print(x)\nprint(y)\n"
+        )
+
+    def test_string_membership(self):
+        self._sweep(
+            's = sym_string("ab")\n'
+            'if "a" in s:\n'
+            "    print(1)\n"
+            "else:\n"
+            "    print(0)\n"
+        )

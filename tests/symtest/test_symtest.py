@@ -159,5 +159,11 @@ class TestCoverageHelpers:
         assert merge_coverage([{1}, {2}, {1, 3}]) == {1, 2, 3}
 
     def test_count_loc_skips_comments_and_blanks(self):
-        assert count_loc("a = 1\n\n# c\nb = 2\n") == 2
+        assert count_loc("a = 1\n\n# c\nb = 2\n", comment_prefix="#") == 2
         assert count_loc("-- c\nx = 1\n", comment_prefix="--") == 1
+
+    def test_count_loc_prefix_is_required(self):
+        # The prefix must come from the GuestLanguage protocol; a silent
+        # "#" default used to leak through at call sites.
+        with pytest.raises(TypeError):
+            count_loc("x = 1\n")

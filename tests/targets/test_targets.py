@@ -1,8 +1,8 @@
-"""Unit tests of the 11 target packages themselves, run on the host VMs.
+"""Unit tests of the target packages themselves, run on the host VMs.
 
-These test the *libraries* (parsers and tools written in MiniPy/MiniLua),
-independent of symbolic execution — the same way a downstream user of
-those packages would.
+These test the *libraries* (parsers and tools written in MiniPy, MiniLua
+and PyLite), independent of symbolic execution — the same way a
+downstream user of those packages would.
 """
 
 import pytest
@@ -11,9 +11,17 @@ from repro.interpreters.minilua.compiler import compile_lua
 from repro.interpreters.minilua.hostvm import LuaHostVM
 from repro.interpreters.minipy.compiler import compile_source
 from repro.interpreters.minipy.hostvm import HostVM
-from repro.targets import all_targets, lua_targets, python_targets, target_by_name
+from repro.interpreters.pylite.hostvm import PyLiteHostVM
+from repro.targets import (
+    all_targets,
+    lua_targets,
+    pylite_targets,
+    python_targets,
+    target_by_name,
+)
 from repro.targets import minilua_packages as LUA
 from repro.targets import minipy_packages as PY
+from repro.targets import pylite_packages as PL
 from repro.targets.mac_controller import CONTROLLER_SOURCE, driver_source
 
 
@@ -27,18 +35,26 @@ def run_lua(package_source, driver):
     return vm.run()
 
 
+def run_pylite(package_source, driver):
+    vm = PyLiteHostVM(package_source + "\n" + driver, symbolic_inputs=[])
+    return vm.run()
+
+
 class TestRegistry:
-    def test_eleven_targets(self):
+    def test_target_counts(self):
+        # 11 Table 3 rows plus the 3-package PyLite scenario pack.
         assert len(python_targets()) == 6
         assert len(lua_targets()) == 5
+        assert len(pylite_targets()) == 3
 
     def test_lookup_by_name(self):
         assert target_by_name("xlrd").language == "minipy"
+        assert target_by_name("rle").language == "pylite"
         with pytest.raises(KeyError):
             target_by_name("nonexistent")
 
     def test_lookup_is_memoized(self):
-        # target_by_name used to rebuild all 11 TargetPackages per call;
+        # target_by_name used to rebuild every TargetPackage per call;
         # the registry is now built once and indexed by name.
         assert target_by_name("xlrd") is target_by_name("xlrd")
         assert target_by_name("haml") in all_targets()
@@ -47,11 +63,14 @@ class TestRegistry:
     def test_all_targets_returns_fresh_list(self):
         targets = all_targets()
         targets.clear()
-        assert len(all_targets()) == 11
+        assert len(all_targets()) == 14
 
     def test_loc_positive(self):
+        # Table 3 rows are real little libraries; the PyLite scenario
+        # pack is deliberately smaller (frontend smoke fodder).
+        floors = {"pylite": 15}
         for target in all_targets():
-            assert target.loc() > 20, target.name
+            assert target.loc() > floors.get(target.language, 20), target.name
 
     def test_loc_comment_prefix_comes_from_guest_language(self):
         from repro.symtest.coverage import count_loc
@@ -278,6 +297,36 @@ print(v[2])
     def test_moonscript(self):
         r = run_lua(LUA.MOONSCRIPT_SOURCE, 'print(compile_chunk("x=1;if go!;return x"))')
         assert r.error is None
+
+
+class TestPyLiteTargets:
+    def test_parseint(self):
+        r = run_pylite(PL.PARSEINT_SOURCE, "print(parse_int(\"-42\"))")
+        assert r.exception is None
+        assert r.output == [-42, 10]
+
+    def test_parseint_rejects_garbage(self):
+        r = run_pylite(PL.PARSEINT_SOURCE, "parse_int(\"4x\")")
+        assert r.exception is not None
+        assert r.exception.name == "ValueError"
+
+    def test_turnstile(self):
+        r = run_pylite(
+            PL.TURNSTILE_SOURCE,
+            'm = run_machine("ccpp")\nprint(m["entries"])\nprint(m["coins"])',
+        )
+        assert r.exception is None
+        # second push bounces off the locked state
+        assert r.output == [1, 10, 2, 10]
+
+    def test_turnstile_unknown_command(self):
+        r = run_pylite(PL.TURNSTILE_SOURCE, 'run_machine("x")')
+        assert r.exception.name == "RuntimeError"
+
+    def test_rle_roundtrip(self):
+        r = run_pylite(PL.RLE_SOURCE, 'print(roundtrip("aaabcc"))')
+        assert r.exception is None
+        assert r.output == [3, 10]
 
 
 class TestMacController:

@@ -28,7 +28,7 @@ def test_session_exported_and_aliased():
 
 
 def test_language_registry_exported():
-    assert repro.languages() == ["minilua", "minipy"]
+    assert repro.languages() == ["minilua", "minipy", "pylite"]
     assert repro.get_language("minipy").comment_prefix == "#"
 
 
